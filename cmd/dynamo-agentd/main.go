@@ -1,0 +1,110 @@
+// Command dynamo-agentd runs a Dynamo agent as a standalone daemon
+// serving the agent protocol over TCP — the real-network counterpart of
+// the in-process agents used by the simulator. Since no Intel RAPL is
+// available here, the agent fronts a simulated host (the same physics the
+// simulator uses) ticked on the wall clock; the network path, framing,
+// and protocol are the production ones.
+//
+// Usage:
+//
+//	dynamo-agentd -listen :7080 -id srv001 -service web \
+//	              -generation haswell2015 -load 0.6 -platform msr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynamo/internal/agent"
+	"dynamo/internal/platform"
+	"dynamo/internal/rpc"
+	"dynamo/internal/server"
+	"dynamo/internal/simclock"
+	"dynamo/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", ":7080", "TCP listen address")
+	id := flag.String("id", "srv001", "server identifier")
+	service := flag.String("service", "web", "service the host runs")
+	generation := flag.String("generation", "haswell2015", "hardware generation")
+	load := flag.Float64("load", -1, "fixed offered load; -1 uses the service workload model")
+	platName := flag.String("platform", "msr", "platform backend: msr, ipmi, or estimated")
+	seed := flag.Int64("seed", 1, "seed for workload and sensor noise")
+	flag.Parse()
+
+	model, err := server.LookupModel(*generation)
+	if err != nil {
+		fatal(err)
+	}
+
+	var source server.LoadSource
+	if *load >= 0 {
+		fixed := *load
+		source = server.LoadFunc(func(time.Duration) float64 { return fixed })
+	} else {
+		prof, err := workload.Lookup(*service)
+		if err != nil {
+			fatal(err)
+		}
+		shared := workload.NewShared(prof, *seed)
+		source = workload.NewGenerator(shared, *seed+1)
+	}
+
+	host := server.New(server.Config{
+		ID: *id, Service: *service, Model: model, Source: source,
+	})
+
+	var plat platform.Platform
+	switch *platName {
+	case "msr":
+		plat = platform.NewMSR(host, platform.Options{Seed: *seed})
+	case "ipmi":
+		plat = platform.NewIPMI(host, platform.Options{Seed: *seed})
+	case "estimated":
+		em := platform.Calibrate(model, 21, 1.0, *seed)
+		plat, err = platform.NewEstimated(host, em, platform.Options{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platName))
+	}
+
+	loop := simclock.NewWallLoop()
+	defer loop.Close()
+	ticker := simclock.NewTicker(loop, time.Second, func() { host.Tick(loop.Now()) })
+	loop.Post(ticker.Start)
+
+	ag := agent.New(*id, *service, *generation, plat)
+	srv := rpc.NewTCPServer(rpc.LoopHandler(loop, ag.Handler()))
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("dynamo-agentd %s (%s/%s, %s platform) listening on %s\n",
+		*id, *service, *generation, *platName, addr)
+
+	status := simclock.NewTicker(loop, 30*time.Second, func() {
+		reads, caps, uncaps, errs := ag.Stats()
+		lim, capped := plat.PowerLimit()
+		fmt.Printf("[%v] power=%v capped=%v limit=%v reads=%d caps=%d uncaps=%d errs=%d\n",
+			loop.Now().Round(time.Second), host.Power(), capped, lim, reads, caps, uncaps, errs)
+	})
+	loop.Post(status.Start)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command dynamo-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dynamo-bench [-experiment all|fig1|fig3|fig4|fig5|fig6|fig9|fig10|
+//	              fig11|fig12|fig13|fig14|fig15|fig16|table1]
+//	             [-scale 1.0] [-seed 1]
+//
+// Each experiment prints the same rows/series the paper reports; absolute
+// numbers come from the simulator, so the shapes (who wins, by what
+// factor, where crossovers fall) are the comparison targets — see
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dynamo/internal/experiments"
+)
+
+var runners = []struct {
+	name string
+	run  func(experiments.Options)
+}{
+	{"fig1", func(o experiments.Options) { experiments.Figure1(o) }},
+	{"fig3", func(o experiments.Options) { experiments.Figure3(o) }},
+	{"fig4", func(o experiments.Options) { experiments.Figure4(o) }},
+	{"fig5", func(o experiments.Options) { experiments.Figure5(o) }},
+	{"fig6", func(o experiments.Options) { experiments.Figure6(o) }},
+	{"fig9", func(o experiments.Options) { experiments.Figure9(o) }},
+	{"fig10", func(o experiments.Options) { experiments.Figure10(o) }},
+	{"fig11", func(o experiments.Options) { experiments.Figure11(o) }},
+	{"fig12", func(o experiments.Options) { experiments.Figure12(o) }},
+	{"fig13", func(o experiments.Options) { experiments.Figure13(o) }},
+	{"fig14", func(o experiments.Options) { experiments.Figure14(o) }},
+	{"fig15", func(o experiments.Options) { experiments.Figure15(o) }},
+	{"fig16", func(o experiments.Options) { experiments.Figure16(o) }},
+	{"table1", func(o experiments.Options) { experiments.TableI(o) }},
+}
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run (all, fig1, ..., table1)")
+	scale := flag.Float64("scale", 1.0, "fleet/duration scale in (0,1]")
+	seed := flag.Int64("seed", 1, "random seed (results are reproducible per seed)")
+	outDir := flag.String("out", "", "also write each experiment's report to <out>/<name>.txt")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	want := strings.ToLower(*exp)
+
+	ran := 0
+	start := time.Now()
+	for _, r := range runners {
+		if want != "all" && want != r.name {
+			continue
+		}
+		opts := experiments.Options{Seed: *seed, Scale: *scale, W: os.Stdout}
+		var file *os.File
+		if *outDir != "" {
+			var err error
+			file, err = os.Create(filepath.Join(*outDir, r.name+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			opts.W = io.MultiWriter(os.Stdout, file)
+		}
+		t0 := time.Now()
+		r.run(opts)
+		if file != nil {
+			file.Close()
+		}
+		fmt.Printf("[%s completed in %v]\n", r.name, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("\n%d experiment(s) in %v (seed %d, scale %.2f)\n",
+		ran, time.Since(start).Round(time.Millisecond), *seed, *scale)
+}

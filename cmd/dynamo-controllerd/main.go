@@ -1,0 +1,115 @@
+// Command dynamo-controllerd runs a leaf power controller as a standalone
+// daemon: it pulls power from dynamo-agentd instances over TCP on the
+// paper's 3-second cycle, applies the three-band algorithm against the
+// device's breaker limit, and serves the controller protocol to an
+// optional parent controller.
+//
+// Usage:
+//
+//	dynamo-controllerd -device rpp1 -limit 5000 -listen :7090 \
+//	    -agents "srv001=web@127.0.0.1:7080,srv002=web@127.0.0.1:7081"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynamo/internal/core"
+	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+)
+
+func main() {
+	listen := flag.String("listen", ":7090", "TCP listen address (for a parent controller)")
+	device := flag.String("device", "rpp1", "protected power device identifier")
+	limit := flag.Float64("limit", 5000, "breaker limit in watts")
+	quota := flag.Float64("quota", 0, "power quota in watts (0: none)")
+	agents := flag.String("agents", "", "comma-separated id=service@host:port agent list")
+	dryRun := flag.Bool("dry-run", false, "compute capping plans without actuating")
+	flag.Parse()
+
+	loop := simclock.NewWallLoop()
+	defer loop.Close()
+
+	refs, closers, err := dialAgents(*agents, loop)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+
+	leaf := core.NewLeaf(loop, core.LeafConfig{
+		DeviceID: *device,
+		Limit:    power.Watts(*limit),
+		Quota:    power.Watts(*quota),
+		DryRun:   *dryRun,
+		Alerts: func(a core.Alert) {
+			fmt.Printf("ALERT %v\n", a)
+		},
+	}, refs)
+	loop.Post(leaf.Start)
+
+	srv := rpc.NewTCPServer(rpc.LoopHandler(loop, leaf.Handler()))
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("dynamo-controllerd %s (limit %v, %d agents) listening on %s\n",
+		*device, power.Watts(*limit), len(refs), addr)
+
+	status := simclock.NewTicker(loop, 15*time.Second, func() {
+		agg, valid := leaf.LastAggregate()
+		fmt.Printf("[%v] agg=%v valid=%v capped=%d cycles=%d effLimit=%v\n",
+			loop.Now().Round(time.Second), agg, valid, leaf.CappedCount(),
+			leaf.Cycles(), leaf.EffectiveLimit())
+	})
+	loop.Post(status.Start)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	loop.Call(leaf.Stop)
+}
+
+// dialAgents parses "id=service@host:port,..." and connects each agent.
+func dialAgents(list string, loop simclock.Loop) ([]core.AgentRef, []rpc.Client, error) {
+	var refs []core.AgentRef
+	var closers []rpc.Client
+	if strings.TrimSpace(list) == "" {
+		return refs, closers, nil
+	}
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		idSvc, addr, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry)
+		}
+		id, svc, ok := strings.Cut(idSvc, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry)
+		}
+		cl, err := rpc.DialTCP(addr, loop)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		closers = append(closers, cl)
+		refs = append(refs, core.AgentRef{ServerID: id, Service: svc, Client: cl})
+	}
+	return refs, closers, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command dynamo-suited runs a consolidated suite controller: every leaf
+// and upper controller for one data center suite in a single process, as
+// deployed in production (paper §IV: "all controller instances for
+// neighboring devices in a data center suite are consolidated into one
+// binary"). Agents and out-of-suite children are reached over TCP;
+// sibling controllers communicate in-process.
+//
+// Usage:
+//
+//	dynamo-suited -config suite.json
+//
+// Controllers with a "listen" address in the config are additionally
+// exposed over TCP so an out-of-suite parent (e.g. the MSB controller in
+// another binary) can pull them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynamo/internal/config"
+	"dynamo/internal/core"
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+	"dynamo/internal/suite"
+)
+
+func main() {
+	path := flag.String("config", "suite.json", "suite configuration file")
+	flag.Parse()
+
+	cfg, err := config.Load(*path)
+	if err != nil {
+		fatal(err)
+	}
+
+	loop := simclock.NewWallLoop()
+	defer loop.Close()
+
+	dial := func(addr string) (rpc.Client, error) { return rpc.DialTCP(addr, loop) }
+	asm, err := suite.Build(loop, cfg, dial, func(a core.Alert) {
+		fmt.Printf("ALERT %v\n", a)
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Expose controllers that declare a listen address.
+	var servers []*rpc.TCPServer
+	for _, c := range cfg.Controllers {
+		if c.Listen == "" {
+			continue
+		}
+		ctrl := asm.Controller(c.Device)
+		srv := rpc.NewTCPServer(rpc.LoopHandler(loop, ctrl.Handler()))
+		addr, err := srv.Listen(c.Listen)
+		if err != nil {
+			fatal(fmt.Errorf("listen for %s: %w", c.Device, err))
+		}
+		servers = append(servers, srv)
+		fmt.Printf("%s exposed on %s\n", c.Device, addr)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	loop.Post(asm.StartAll)
+	fmt.Printf("dynamo-suited %q: %d controllers consolidated (%d leaves, %d uppers)\n",
+		cfg.Name, asm.NumControllers(), len(asm.Leaves), len(asm.Uppers))
+
+	status := simclock.NewTicker(loop, 15*time.Second, func() {
+		for dev, leaf := range asm.Leaves {
+			agg, valid := leaf.LastAggregate()
+			fmt.Printf("[%v] %-12s agg=%v valid=%v capped=%d\n",
+				loop.Now().Round(time.Second), dev, agg, valid, leaf.CappedCount())
+		}
+		for dev, up := range asm.Uppers {
+			agg, valid := up.LastAggregate()
+			fmt.Printf("[%v] %-12s agg=%v valid=%v contracted=%v\n",
+				loop.Now().Round(time.Second), dev, agg, valid, up.ContractedChildren())
+		}
+	})
+	loop.Post(status.Start)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	loop.Call(asm.StopAll)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module dynamo
+
+go 1.22

@@ -1,0 +1,123 @@
+package agent
+
+import (
+	"fmt"
+	"sync"
+
+	"dynamo/internal/platform"
+	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/wire"
+)
+
+// Agent is one server's Dynamo agent. It is a thin request handler over
+// the platform layer; it keeps no policy and never talks to other agents
+// (paper §III-A).
+type Agent struct {
+	id         string
+	service    string
+	generation string
+	plat       platform.Platform
+
+	mu     sync.Mutex
+	reads  uint64
+	caps   uint64
+	uncaps uint64
+	errs   uint64
+}
+
+// New creates an agent for a server.
+func New(id, service, generation string, plat platform.Platform) *Agent {
+	return &Agent{id: id, service: service, generation: generation, plat: plat}
+}
+
+// ID returns the agent's server identifier.
+func (a *Agent) ID() string { return a.id }
+
+// Service returns the service the host runs.
+func (a *Agent) Service() string { return a.service }
+
+// Stats returns the operation counters (reads, caps, uncaps, errors).
+func (a *Agent) Stats() (reads, caps, uncaps, errs uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reads, a.caps, a.uncaps, a.errs
+}
+
+func (a *Agent) count(c *uint64) {
+	a.mu.Lock()
+	*c++
+	a.mu.Unlock()
+}
+
+// Handler returns the RPC dispatch function for this agent.
+func (a *Agent) Handler() rpc.Handler {
+	return func(method string, body []byte) (wire.Message, error) {
+		switch method {
+		case MethodReadPower:
+			return a.readPower()
+		case MethodSetCap:
+			var req SetCapRequest
+			if err := wire.Unmarshal(body, &req); err != nil {
+				a.count(&a.errs)
+				return nil, err
+			}
+			return a.setCap(req.LimitWatts)
+		case MethodClearCap:
+			return a.clearCap()
+		case MethodPing:
+			a.mu.Lock()
+			resp := &PingResponse{Healthy: true, Reads: a.reads, Caps: a.caps, Uncaps: a.uncaps, Errors: a.errs}
+			a.mu.Unlock()
+			return resp, nil
+		default:
+			a.count(&a.errs)
+			return nil, fmt.Errorf("agent %s: unknown method %q", a.id, method)
+		}
+	}
+}
+
+func (a *Agent) readPower() (wire.Message, error) {
+	b, err := a.plat.ReadPower()
+	if err != nil {
+		a.count(&a.errs)
+		return nil, fmt.Errorf("agent %s: %w", a.id, err)
+	}
+	a.count(&a.reads)
+	cap, capped := a.plat.PowerLimit()
+	return &ReadPowerResponse{
+		TotalWatts:    float64(b.Total),
+		CPUWatts:      float64(b.CPU),
+		MemoryWatts:   float64(b.Memory),
+		OtherWatts:    float64(b.Other),
+		ACDCLossWatts: float64(b.ACDCLoss),
+		HasSensor:     a.plat.HasSensor(),
+		CPUUtil:       a.plat.CPUUtil(),
+		Service:       a.service,
+		Generation:    a.generation,
+		CapWatts:      float64(cap),
+		Capped:        capped,
+	}, nil
+}
+
+func (a *Agent) setCap(limitWatts float64) (wire.Message, error) {
+	if limitWatts <= 0 {
+		a.count(&a.errs)
+		return &CapResponse{OK: false, Msg: "non-positive power limit"}, nil
+	}
+	if err := a.plat.SetPowerLimit(power.Watts(limitWatts)); err != nil {
+		a.count(&a.errs)
+		return &CapResponse{OK: false, Msg: err.Error()}, nil
+	}
+	a.count(&a.caps)
+	return &CapResponse{OK: true}, nil
+}
+
+func (a *Agent) clearCap() (wire.Message, error) {
+	if err := a.plat.ClearPowerLimit(); err != nil {
+		a.count(&a.errs)
+		return &CapResponse{OK: false, Msg: err.Error()}, nil
+	}
+	a.count(&a.uncaps)
+	return &CapResponse{OK: true}, nil
+}

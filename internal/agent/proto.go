@@ -1,0 +1,129 @@
+// Package agent implements the Dynamo agent (paper §III-B): a lightweight
+// request-handler daemon on every server that reads power (from a sensor
+// or an estimation model), executes capping/uncapping commands through the
+// platform's RAPL backend, and reports status to its leaf controller. All
+// intelligence lives in the controllers; the agent is deliberately simple
+// (paper §VI, "keep the design simple to achieve reliability at scale").
+package agent
+
+import "dynamo/internal/wire"
+
+// Method names served by the agent.
+const (
+	MethodReadPower = "Agent.ReadPower"
+	MethodSetCap    = "Agent.SetCap"
+	MethodClearCap  = "Agent.ClearCap"
+	MethodPing      = "Agent.Ping"
+)
+
+// ReadPowerResponse reports the server's power and identity. Identity
+// fields ride along so the leaf controller can maintain server metadata
+// for priority grouping and failure estimation without a separate
+// inventory service.
+type ReadPowerResponse struct {
+	// TotalWatts is the current total power draw.
+	TotalWatts float64
+	// Breakdown components (zero when the platform cannot decompose).
+	CPUWatts, MemoryWatts, OtherWatts, ACDCLossWatts float64
+	// HasSensor is false when TotalWatts is an estimate.
+	HasSensor bool
+	// CPUUtil is the current CPU utilization in [0,1].
+	CPUUtil float64
+	// Service and Generation identify the workload and hardware.
+	Service    string
+	Generation string
+	// CapWatts / Capped report the active RAPL limit.
+	CapWatts float64
+	Capped   bool
+}
+
+// MarshalWire implements wire.Message.
+func (m *ReadPowerResponse) MarshalWire(e *wire.Encoder) {
+	e.Float64(m.TotalWatts)
+	e.Float64(m.CPUWatts)
+	e.Float64(m.MemoryWatts)
+	e.Float64(m.OtherWatts)
+	e.Float64(m.ACDCLossWatts)
+	e.Bool(m.HasSensor)
+	e.Float64(m.CPUUtil)
+	e.String(m.Service)
+	e.String(m.Generation)
+	e.Float64(m.CapWatts)
+	e.Bool(m.Capped)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *ReadPowerResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.TotalWatts = d.Float64()
+	m.CPUWatts = d.Float64()
+	m.MemoryWatts = d.Float64()
+	m.OtherWatts = d.Float64()
+	m.ACDCLossWatts = d.Float64()
+	m.HasSensor = d.Bool()
+	m.CPUUtil = d.Float64()
+	m.Service = d.String()
+	m.Generation = d.String()
+	m.CapWatts = d.Float64()
+	m.Capped = d.Bool()
+	return d.Err()
+}
+
+// SetCapRequest asks the agent to enforce a total-power limit.
+type SetCapRequest struct {
+	LimitWatts float64
+}
+
+// MarshalWire implements wire.Message.
+func (m *SetCapRequest) MarshalWire(e *wire.Encoder) { e.Float64(m.LimitWatts) }
+
+// UnmarshalWire implements wire.Message.
+func (m *SetCapRequest) UnmarshalWire(d *wire.Decoder) error {
+	m.LimitWatts = d.Float64()
+	return d.Err()
+}
+
+// CapResponse acknowledges a cap/uncap command (paper: the agent "returns
+// the status of the operation to the leaf controller").
+type CapResponse struct {
+	OK  bool
+	Msg string
+}
+
+// MarshalWire implements wire.Message.
+func (m *CapResponse) MarshalWire(e *wire.Encoder) {
+	e.Bool(m.OK)
+	e.String(m.Msg)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *CapResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.OK = d.Bool()
+	m.Msg = d.String()
+	return d.Err()
+}
+
+// PingResponse reports agent liveness for the watchdog.
+type PingResponse struct {
+	Healthy bool
+	// Uptime-ish counters for monitoring.
+	Reads, Caps, Uncaps, Errors uint64
+}
+
+// MarshalWire implements wire.Message.
+func (m *PingResponse) MarshalWire(e *wire.Encoder) {
+	e.Bool(m.Healthy)
+	e.Uvarint(m.Reads)
+	e.Uvarint(m.Caps)
+	e.Uvarint(m.Uncaps)
+	e.Uvarint(m.Errors)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *PingResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.Healthy = d.Bool()
+	m.Reads = d.Uvarint()
+	m.Caps = d.Uvarint()
+	m.Uncaps = d.Uvarint()
+	m.Errors = d.Uvarint()
+	return d.Err()
+}

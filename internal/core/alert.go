@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// AlertLevel classifies controller alerts.
+type AlertLevel int
+
+const (
+	// AlertInfo is informational (e.g. dry-run plan reports).
+	AlertInfo AlertLevel = iota
+	// AlertWarning indicates degraded operation (estimated readings,
+	// validation drift).
+	AlertWarning
+	// AlertCritical requires human intervention (invalid aggregation,
+	// unsatisfiable power cut, failover).
+	AlertCritical
+)
+
+// String implements fmt.Stringer.
+func (l AlertLevel) String() string {
+	switch l {
+	case AlertInfo:
+		return "info"
+	case AlertWarning:
+		return "warning"
+	case AlertCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("AlertLevel(%d)", int(l))
+	}
+}
+
+// Alert is an operator-facing event emitted by a controller. The paper
+// leans on alerting rather than guessing when data is unsafe to act on
+// ("send an alarm for a human operator to intervene", §III-E).
+type Alert struct {
+	Time       time.Duration
+	Level      AlertLevel
+	Controller string
+	Msg        string
+}
+
+// String implements fmt.Stringer.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%v] %s %s: %s", a.Time, a.Level, a.Controller, a.Msg)
+}
+
+// AlertFunc receives alerts; nil sinks are permitted everywhere.
+type AlertFunc func(Alert)
+
+func (f AlertFunc) emit(now time.Duration, level AlertLevel, ctrl, format string, args ...interface{}) {
+	if f == nil {
+		return
+	}
+	f(Alert{Time: now, Level: level, Controller: ctrl, Msg: fmt.Sprintf(format, args...)})
+}

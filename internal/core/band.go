@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"dynamo/internal/power"
+)
+
+// BandConfig parameterizes the three-band cap/uncap algorithm (paper
+// §III-C2, Fig 10) as fractions of the device's effective power limit.
+// The bands are configurable per controller, "enabling customizable
+// trade-offs between power-efficiency and performance at different levels
+// of the power delivery hierarchy".
+type BandConfig struct {
+	// CapThresholdFrac is the top band: capping triggers when aggregated
+	// power exceeds this fraction of the limit. Paper default: 0.99.
+	CapThresholdFrac float64
+	// CapTargetFrac is the middle band: capping aims to bring power down
+	// to this fraction. Paper default: 0.95 ("conservatively chosen to be
+	// 5% below the breaker limit").
+	CapTargetFrac float64
+	// UncapThresholdFrac is the bottom band: uncapping triggers only when
+	// power falls below this fraction, which eliminates oscillation.
+	UncapThresholdFrac float64
+}
+
+// DefaultBandConfig returns the paper's thresholds.
+func DefaultBandConfig() BandConfig {
+	return BandConfig{CapThresholdFrac: 0.99, CapTargetFrac: 0.95, UncapThresholdFrac: 0.90}
+}
+
+// Validate checks band ordering: uncap < target < threshold ≤ 1.
+func (c BandConfig) Validate() error {
+	if !(c.UncapThresholdFrac > 0 &&
+		c.UncapThresholdFrac < c.CapTargetFrac &&
+		c.CapTargetFrac < c.CapThresholdFrac &&
+		c.CapThresholdFrac <= 1.0) {
+		return fmt.Errorf("core: invalid band config %+v (need 0 < uncap < target < threshold <= 1)", c)
+	}
+	return nil
+}
+
+// Bands are the three absolute thresholds for a specific limit.
+type Bands struct {
+	CapThreshold   power.Watts
+	CapTarget      power.Watts
+	UncapThreshold power.Watts
+}
+
+// BandsFor computes absolute bands for an effective limit.
+func (c BandConfig) BandsFor(limit power.Watts) Bands {
+	return Bands{
+		CapThreshold:   power.Watts(float64(limit) * c.CapThresholdFrac),
+		CapTarget:      power.Watts(float64(limit) * c.CapTargetFrac),
+		UncapThreshold: power.Watts(float64(limit) * c.UncapThresholdFrac),
+	}
+}
+
+// Action is a three-band decision outcome.
+type Action int
+
+const (
+	// ActionNone holds the current state (the hysteresis region).
+	ActionNone Action = iota
+	// ActionCap throttles power down to the cap target.
+	ActionCap
+	// ActionUncap releases existing caps.
+	ActionUncap
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionCap:
+		return "cap"
+	case ActionUncap:
+		return "uncap"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Decide applies the three-band rule to an aggregated power reading.
+// anyCapped reports whether any downstream caps are active (uncapping is
+// meaningless otherwise).
+func (b Bands) Decide(agg power.Watts, anyCapped bool) Action {
+	switch {
+	case agg > b.CapThreshold:
+		return ActionCap
+	case anyCapped && agg < b.UncapThreshold:
+		return ActionUncap
+	default:
+		return ActionNone
+	}
+}

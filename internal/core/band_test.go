@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynamo/internal/power"
+)
+
+// Property: for any limit and power level, the three bands partition
+// behaviour consistently — Decide never returns Cap below the threshold,
+// never Uncap at or above the uncap threshold, and never Uncap when
+// nothing is capped.
+func TestBandsDecideProperty(t *testing.T) {
+	cfg := DefaultBandConfig()
+	f := func(limQ uint16, aggQ uint16, capped bool) bool {
+		limit := power.Watts(float64(limQ%10000) + 100)
+		agg := power.Watts(float64(aggQ) / 65535 * float64(limit) * 1.2)
+		b := cfg.BandsFor(limit)
+		switch b.Decide(agg, capped) {
+		case ActionCap:
+			return agg > b.CapThreshold
+		case ActionUncap:
+			return capped && agg < b.UncapThreshold
+		case ActionNone:
+			return agg <= b.CapThreshold && (!capped || agg >= b.UncapThreshold)
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bands scale linearly with the limit.
+func TestBandsScaleProperty(t *testing.T) {
+	cfg := DefaultBandConfig()
+	f := func(limQ uint16) bool {
+		limit := power.Watts(float64(limQ) + 1000)
+		b1 := cfg.BandsFor(limit)
+		b2 := cfg.BandsFor(limit * 2)
+		const eps = 1e-6
+		return approxEq(float64(b2.CapThreshold), 2*float64(b1.CapThreshold), eps) &&
+			approxEq(float64(b2.CapTarget), 2*float64(b1.CapTarget), eps) &&
+			approxEq(float64(b2.UncapThreshold), 2*float64(b1.UncapThreshold), eps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func approxEq(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps*(1+b)
+}
+
+func TestContractBands(t *testing.T) {
+	cfg := DefaultBandConfig()
+	b := contractBands(power.KW(100), cfg)
+	if b.CapThreshold != power.KW(100) {
+		t.Errorf("contract threshold = %v, want the contract itself", b.CapThreshold)
+	}
+	if b.CapTarget >= b.CapThreshold {
+		t.Error("target must sit below the contract")
+	}
+	if b.UncapThreshold >= b.CapTarget {
+		t.Error("uncap must sit below the target")
+	}
+}
+
+// TestContractCompoundingAvoided demonstrates the margin-compounding bug
+// the direct-enforcement design prevents: three levels of 0.95 targets
+// would settle below the top level's 0.90 uncap threshold.
+func TestContractCompoundingAvoided(t *testing.T) {
+	cfg := DefaultBandConfig()
+	// Naive re-margining: settle = 0.95^3 = 0.857 < 0.90 → oscillation.
+	naive := cfg.CapTargetFrac * cfg.CapTargetFrac * cfg.CapTargetFrac
+	if naive >= cfg.UncapThresholdFrac {
+		t.Skip("defaults changed; compounding no longer demonstrable")
+	}
+	// Direct enforcement: one 0.95 at the origin, 0.99 per contract hop.
+	direct := cfg.CapTargetFrac * 0.99 * 0.99
+	if direct < cfg.UncapThresholdFrac {
+		t.Errorf("direct enforcement settle %.3f still below uncap %.3f",
+			direct, cfg.UncapThresholdFrac)
+	}
+}

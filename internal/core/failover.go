@@ -1,0 +1,128 @@
+package core
+
+import (
+	"time"
+
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// Controller is the common surface of Leaf and Upper used by the failover
+// machinery.
+type Controller interface {
+	DeviceID() string
+	Start()
+	Stop()
+	Running() bool
+	Handler() rpc.Handler
+}
+
+// Compile-time interface checks.
+var (
+	_ Controller = (*Leaf)(nil)
+	_ Controller = (*Upper)(nil)
+)
+
+// FailoverConfig configures a primary/backup controller pair (paper
+// §III-E: "we use a redundant backup controller that resides in a
+// different location and can take control as soon as the primary
+// controller fails").
+type FailoverConfig struct {
+	// PingInterval is how often the backup checks the primary.
+	PingInterval time.Duration
+	// FailThreshold is the number of consecutive failed pings before the
+	// backup takes over.
+	FailThreshold int
+	// PingTimeout bounds each health probe.
+	PingTimeout time.Duration
+	// Alerts receives failover events.
+	Alerts AlertFunc
+}
+
+func (c *FailoverConfig) fillDefaults() {
+	if c.PingInterval <= 0 {
+		c.PingInterval = 3 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = c.PingInterval / 2
+	}
+}
+
+// Failover supervises a primary controller and promotes the backup when
+// the primary stops responding to health probes.
+type Failover struct {
+	cfg    FailoverConfig
+	loop   simclock.Loop
+	net    *rpc.Network
+	addr   string
+	backup Controller
+
+	probe  rpc.Client
+	ticker *simclock.Ticker
+
+	misses   int
+	promoted bool
+}
+
+// NewFailover wires a backup to watch the controller currently registered
+// at CtrlAddr(deviceID). The primary must already be registered and
+// started by the caller.
+func NewFailover(loop simclock.Loop, net *rpc.Network, deviceID string, backup Controller, cfg FailoverConfig) *Failover {
+	cfg.fillDefaults()
+	f := &Failover{
+		cfg:    cfg,
+		loop:   loop,
+		net:    net,
+		addr:   CtrlAddr(deviceID),
+		backup: backup,
+	}
+	f.probe = net.Dial(f.addr)
+	f.ticker = simclock.NewTicker(loop, cfg.PingInterval, f.check)
+	return f
+}
+
+// Start begins health probing.
+func (f *Failover) Start() { f.ticker.Start() }
+
+// Stop halts probing.
+func (f *Failover) Stop() { f.ticker.Stop() }
+
+// Promoted reports whether the backup has taken over.
+func (f *Failover) Promoted() bool { return f.promoted }
+
+func (f *Failover) check() {
+	if f.promoted {
+		f.ticker.Stop()
+		return
+	}
+	f.probe.Call(MethodCtrlPing, rpc.Empty, f.cfg.PingTimeout, func(resp []byte, err error) {
+		healthy := false
+		if err == nil {
+			var pong CtrlPingResponse
+			if wire.Unmarshal(resp, &pong) == nil {
+				healthy = pong.Healthy
+			}
+		}
+		if healthy {
+			f.misses = 0
+			return
+		}
+		f.misses++
+		if f.misses >= f.cfg.FailThreshold && !f.promoted {
+			f.promote()
+		}
+	})
+}
+
+func (f *Failover) promote() {
+	f.promoted = true
+	f.net.Register(f.addr, f.backup.Handler())
+	f.backup.Start()
+	f.cfg.Alerts.emit(f.loop.Now(), AlertCritical, f.backup.DeviceID(),
+		"primary controller unresponsive for %d probes; backup promoted", f.misses)
+	f.ticker.Stop()
+}

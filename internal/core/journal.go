@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dynamo/internal/power"
+)
+
+// DecisionRecord captures one control cycle's inputs and outcome — the
+// "detailed logging to inspect the control logic step-by-step" the paper
+// relies on for service-aware testing (§VI).
+type DecisionRecord struct {
+	Cycle    uint64
+	Time     time.Duration
+	Agg      power.Watts
+	Valid    bool
+	Failures int
+	// EffLimit is the effective (physical or contractual) limit used.
+	EffLimit power.Watts
+	Action   Action
+	// Target is the planned power level for ActionCap.
+	Target power.Watts
+	// ServersPlanned is how many servers the capping plan touched.
+	ServersPlanned int
+	// Achieved/Shortfall echo the plan outcome.
+	Achieved  power.Watts
+	Shortfall power.Watts
+	DryRun    bool
+}
+
+// String implements fmt.Stringer.
+func (r DecisionRecord) String() string {
+	switch r.Action {
+	case ActionCap:
+		return fmt.Sprintf("[%v] cycle %d agg=%v limit=%v -> cap %d servers to target %v (achieved %v, short %v, dryrun=%v)",
+			r.Time, r.Cycle, r.Agg, r.EffLimit, r.ServersPlanned, r.Target, r.Achieved, r.Shortfall, r.DryRun)
+	case ActionUncap:
+		return fmt.Sprintf("[%v] cycle %d agg=%v limit=%v -> uncap", r.Time, r.Cycle, r.Agg, r.EffLimit)
+	default:
+		if !r.Valid {
+			return fmt.Sprintf("[%v] cycle %d invalid aggregation (%d failures)", r.Time, r.Cycle, r.Failures)
+		}
+		return fmt.Sprintf("[%v] cycle %d agg=%v limit=%v -> none", r.Time, r.Cycle, r.Agg, r.EffLimit)
+	}
+}
+
+// Journal is a bounded ring of decision records.
+type Journal struct {
+	cap  int
+	recs []DecisionRecord
+	next int
+	full bool
+}
+
+// NewJournal creates a journal retaining the last n records.
+func NewJournal(n int) *Journal {
+	if n <= 0 {
+		n = 256
+	}
+	return &Journal{cap: n, recs: make([]DecisionRecord, 0, n)}
+}
+
+// Add appends a record, evicting the oldest when full.
+func (j *Journal) Add(r DecisionRecord) {
+	if len(j.recs) < j.cap {
+		j.recs = append(j.recs, r)
+		return
+	}
+	j.recs[j.next] = r
+	j.next = (j.next + 1) % j.cap
+	j.full = true
+}
+
+// Len returns the number of retained records.
+func (j *Journal) Len() int { return len(j.recs) }
+
+// Records returns retained records oldest-first.
+func (j *Journal) Records() []DecisionRecord {
+	out := make([]DecisionRecord, 0, len(j.recs))
+	if j.full {
+		out = append(out, j.recs[j.next:]...)
+		out = append(out, j.recs[:j.next]...)
+	} else {
+		out = append(out, j.recs...)
+	}
+	return out
+}
+
+// LastAction returns the most recent record whose action is not
+// ActionNone; ok is false if none exists.
+func (j *Journal) LastAction() (DecisionRecord, bool) {
+	recs := j.Records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Action != ActionNone {
+			return recs[i], true
+		}
+	}
+	return DecisionRecord{}, false
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dynamo/internal/agent"
+	"dynamo/internal/metrics"
+	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// LeafConfig configures a leaf power controller (paper §III-C).
+type LeafConfig struct {
+	// DeviceID names the protected power device (an RPP or PDU breaker in
+	// the Facebook deployment; rack-level works too).
+	DeviceID string
+	// Limit is the device's physical breaker limit.
+	Limit power.Watts
+	// Quota is the device's planned peak ("power quota") used by the
+	// parent's punish-offender-first algorithm.
+	Quota power.Watts
+	// Bands is the three-band algorithm configuration.
+	Bands BandConfig
+	// Priorities configures service priority groups, SLA floors, and the
+	// high-bucket-first bucket width.
+	Priorities PriorityConfig
+	// PollInterval is the pull cycle; the paper picks 3 s ("both stable
+	// readings and fast reaction times", §III-C1).
+	PollInterval time.Duration
+	// PullTimeout bounds each agent power pull.
+	PullTimeout time.Duration
+	// MaxFailureFrac is the fraction of failed pulls beyond which the
+	// aggregation is declared invalid and no action is taken (paper: 20%).
+	MaxFailureFrac float64
+	// NonServerDraw is power drawn from the same breaker by non-server
+	// components (top-of-rack switches); monitored but uncappable
+	// (paper §III-E).
+	NonServerDraw power.Watts
+	// DryRun computes and reports capping plans without actuating them
+	// (paper §VI, service-aware testing).
+	DryRun bool
+	// Validator, when set, returns an independent coarse power reading
+	// from the breaker itself, used to cross-check the aggregation
+	// (paper §VI, "use the power readings from the power breaker to
+	// validate"). ok=false means no fresh reading is available.
+	Validator func() (reading power.Watts, ok bool)
+	// ValidationTolerance is the relative disagreement with the breaker
+	// reading above which a warning is raised. Default 0.10.
+	ValidationTolerance float64
+	// UsePID selects the PID capping algorithm instead of the default
+	// three-band control (the paper's future-work "more complex power
+	// capping algorithms").
+	UsePID bool
+	// PID parameterizes the PID algorithm when UsePID is set.
+	PID PIDConfig
+	// Alerts receives operator alerts.
+	Alerts AlertFunc
+}
+
+func (c *LeafConfig) fillDefaults() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 3 * time.Second
+	}
+	if c.PullTimeout <= 0 {
+		c.PullTimeout = c.PollInterval * 2 / 3
+	}
+	if c.MaxFailureFrac <= 0 {
+		c.MaxFailureFrac = 0.20
+	}
+	if c.Bands == (BandConfig{}) {
+		c.Bands = DefaultBandConfig()
+	}
+	if c.Priorities.BucketSize == 0 && c.Priorities.Priority == nil {
+		c.Priorities = DefaultPriorityConfig()
+	}
+	if c.ValidationTolerance <= 0 {
+		// The breaker meter refreshes on the order of a minute
+		// (paper §III-C1), so the cross-check must tolerate normal power
+		// movement over that staleness window.
+		c.ValidationTolerance = 0.20
+	}
+}
+
+// AgentRef identifies one downstream agent for the leaf controller.
+// Service and Generation seed the controller's server metadata (paper
+// §III-C3: "the leaf power controller uses meta-data about all the servers
+// it controls") so failure estimation works even for servers that have
+// never responded; live responses keep the metadata fresh.
+type AgentRef struct {
+	ServerID   string
+	Service    string
+	Generation string
+	Client     rpc.Client
+}
+
+// agentState is the controller's cached view of one agent.
+type agentState struct {
+	id         string
+	client     rpc.Client
+	service    string
+	generation string
+
+	lastPower float64
+	everSeen  bool
+	capSent   power.Watts
+	capped    bool
+
+	// cycle-local state
+	ok        bool
+	estimated bool
+	reading   float64
+}
+
+// Leaf is a leaf power controller. It is confined to its event loop: all
+// methods (including the RPC handler) must run on loop callbacks.
+type Leaf struct {
+	cfg  LeafConfig
+	loop simclock.Loop
+
+	agents map[string]*agentState
+	order  []string // deterministic iteration order
+
+	ticker   *simclock.Ticker
+	cycleSeq uint64
+	inflight int
+	cycles   uint64
+
+	contract    power.Watts // 0 = none
+	lastAgg     power.Watts
+	lastValid   bool
+	lastService map[string]power.Watts
+
+	history       *metrics.Series
+	cappedHistory *metrics.Series
+	journal       *Journal
+
+	pid *pidState
+
+	capEvents   uint64
+	uncapEvents uint64
+}
+
+// NewLeaf creates a leaf controller over the given agents.
+func NewLeaf(loop simclock.Loop, cfg LeafConfig, agents []AgentRef) *Leaf {
+	cfg.fillDefaults()
+	l := &Leaf{
+		cfg:           cfg,
+		loop:          loop,
+		agents:        make(map[string]*agentState, len(agents)),
+		history:       metrics.NewSeries(1024),
+		cappedHistory: metrics.NewSeries(1024),
+		journal:       NewJournal(512),
+		lastService:   map[string]power.Watts{},
+	}
+	for _, a := range agents {
+		l.agents[a.ServerID] = &agentState{
+			id: a.ServerID, client: a.Client,
+			service: a.Service, generation: a.Generation,
+		}
+		l.order = append(l.order, a.ServerID)
+	}
+	if cfg.UsePID {
+		l.pid = newPIDState(cfg.PID)
+	}
+	l.ticker = simclock.NewTicker(loop, cfg.PollInterval, l.pollCycle)
+	return l
+}
+
+// DeviceID returns the protected device's identifier.
+func (l *Leaf) DeviceID() string { return l.cfg.DeviceID }
+
+// Start begins the pull cycle.
+func (l *Leaf) Start() { l.ticker.Start() }
+
+// Stop halts the pull cycle (a crashed controller, for failover tests).
+func (l *Leaf) Stop() { l.ticker.Stop() }
+
+// Running reports whether the controller is polling.
+func (l *Leaf) Running() bool { return l.ticker.Active() }
+
+// Cycles returns the number of completed aggregation cycles.
+func (l *Leaf) Cycles() uint64 { return l.cycles }
+
+// LastAggregate returns the most recent aggregated power and validity.
+func (l *Leaf) LastAggregate() (power.Watts, bool) { return l.lastAgg, l.lastValid }
+
+// History returns the aggregate power time series (one point per cycle).
+func (l *Leaf) History() *metrics.Series { return l.history }
+
+// CappedHistory returns the capped-server-count time series.
+func (l *Leaf) CappedHistory() *metrics.Series { return l.cappedHistory }
+
+// CappedCount returns how many servers currently hold a cap we sent.
+func (l *Leaf) CappedCount() int {
+	n := 0
+	for _, a := range l.agents {
+		if a.capped {
+			n++
+		}
+	}
+	return n
+}
+
+// CapEvents returns how many capping actions this controller has taken.
+func (l *Leaf) CapEvents() uint64 { return l.capEvents }
+
+// ServiceBreakdown returns the last cycle's per-service power.
+func (l *Leaf) ServiceBreakdown() map[string]power.Watts {
+	out := make(map[string]power.Watts, len(l.lastService))
+	for k, v := range l.lastService {
+		out[k] = v
+	}
+	return out
+}
+
+// EffectiveLimit is min(physical, contractual) (paper §III-D).
+func (l *Leaf) EffectiveLimit() power.Watts {
+	if l.contract > 0 && l.contract < l.cfg.Limit {
+		return l.contract
+	}
+	return l.cfg.Limit
+}
+
+// Contract returns the current contractual limit (0 when none).
+func (l *Leaf) Contract() power.Watts { return l.contract }
+
+// effectiveBands returns the decision bands. Against the physical breaker
+// limit the configured fractions apply. Against a contractual limit the
+// contract itself is the threshold and the target sits just below it: the
+// parent that issued the contract already built in its own safety margin,
+// and re-applying the 5 % target at every level would compound
+// (0.95^depth), dropping settled power below the top-level uncap threshold
+// and causing hierarchy-wide cap/uncap oscillation.
+func (l *Leaf) effectiveBands() Bands {
+	if l.contract > 0 && l.contract < l.cfg.Limit {
+		return contractBands(l.contract, l.cfg.Bands)
+	}
+	return l.cfg.Bands.BandsFor(l.cfg.Limit)
+}
+
+// contractBands builds enforcement bands for a contractual limit.
+func contractBands(contract power.Watts, cfg BandConfig) Bands {
+	return Bands{
+		CapThreshold:   contract,
+		CapTarget:      power.Watts(float64(contract) * 0.99),
+		UncapThreshold: power.Watts(float64(contract) * cfg.UncapThresholdFrac),
+	}
+}
+
+// SetPollInterval changes the pull cycle (ablation studies compare the
+// paper's 3 s cycle against slower sampling).
+func (l *Leaf) SetPollInterval(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l.cfg.PollInterval = d
+	l.cfg.PullTimeout = d * 2 / 3
+	l.ticker.SetPeriod(d)
+}
+
+// SetBands replaces the band configuration (used by experiments that
+// manually lower the capping threshold, as in Fig 15).
+func (l *Leaf) SetBands(b BandConfig) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	l.cfg.Bands = b
+	return nil
+}
+
+// pollCycle broadcasts power pulls to every agent (paper: "periodically
+// broadcasts power pull requests over Thrift to all servers").
+func (l *Leaf) pollCycle() {
+	if l.inflight > 0 {
+		// Previous cycle still collecting (should not happen: timeout <
+		// interval), skip to avoid overlapping aggregations.
+		return
+	}
+	l.cycleSeq++
+	seq := l.cycleSeq
+	l.inflight = len(l.order)
+	if l.inflight == 0 {
+		l.finishCycle()
+		return
+	}
+	for _, id := range l.order {
+		st := l.agents[id]
+		st.ok = false
+		st.estimated = false
+		st.reading = 0
+		st.client.Call(agent.MethodReadPower, rpc.Empty, l.cfg.PullTimeout,
+			func(resp []byte, err error) { l.onPull(seq, st, resp, err) })
+	}
+}
+
+func (l *Leaf) onPull(seq uint64, st *agentState, resp []byte, err error) {
+	if seq != l.cycleSeq {
+		return // stale response from a superseded cycle
+	}
+	if err == nil {
+		var r agent.ReadPowerResponse
+		if derr := wire.Unmarshal(resp, &r); derr == nil {
+			st.ok = true
+			st.reading = r.TotalWatts
+			st.lastPower = r.TotalWatts
+			st.everSeen = true
+			st.service = r.Service
+			st.generation = r.Generation
+			st.capped = r.Capped
+			if r.Capped {
+				st.capSent = power.Watts(r.CapWatts)
+			}
+		}
+	}
+	l.inflight--
+	if l.inflight == 0 {
+		l.finishCycle()
+	}
+}
+
+// finishCycle aggregates the cycle's readings and applies the three-band
+// decision logic.
+func (l *Leaf) finishCycle() {
+	now := l.loop.Now()
+	l.cycles++
+
+	// Failure estimation (paper §III-C1): failed pulls are estimated from
+	// same-service responders; servers never seen get their last known
+	// value (or zero).
+	var serviceSum = map[string]float64{}
+	var serviceCnt = map[string]int{}
+	failures := 0
+	for _, id := range l.order {
+		st := l.agents[id]
+		if st.ok {
+			serviceSum[st.service] += st.reading
+			serviceCnt[st.service]++
+		} else {
+			failures++
+		}
+	}
+	total := float64(l.cfg.NonServerDraw)
+	for k := range l.lastService {
+		delete(l.lastService, k)
+	}
+	for _, id := range l.order {
+		st := l.agents[id]
+		if !st.ok {
+			if cnt := serviceCnt[st.service]; cnt > 0 && st.service != "" {
+				st.reading = serviceSum[st.service] / float64(cnt)
+			} else if st.everSeen {
+				st.reading = st.lastPower
+			} else {
+				st.reading = 0
+			}
+			st.estimated = true
+		}
+		total += st.reading
+		l.lastService[st.service] += power.Watts(st.reading)
+	}
+
+	failFrac := 0.0
+	if len(l.order) > 0 {
+		failFrac = float64(failures) / float64(len(l.order))
+	}
+	if failFrac > l.cfg.MaxFailureFrac {
+		// Too many failures: the aggregation is invalid; take no action
+		// and alert for human intervention (paper §III-C1, §III-E).
+		l.lastValid = false
+		l.cfg.Alerts.emit(now, AlertCritical, l.cfg.DeviceID,
+			"power aggregation invalid: %d/%d pulls failed (%.0f%% > %.0f%%)",
+			failures, len(l.order), failFrac*100, l.cfg.MaxFailureFrac*100)
+		l.journal.Add(DecisionRecord{
+			Cycle: l.cycles, Time: now, Valid: false, Failures: failures,
+		})
+		return
+	}
+
+	agg := power.Watts(total)
+	l.lastAgg = agg
+	l.lastValid = true
+	l.history.Add(now, float64(agg))
+	l.cappedHistory.Add(now, float64(l.CappedCount()))
+	l.validate(now, agg)
+
+	var action Action
+	var target power.Watts
+	if l.pid != nil {
+		action, target = l.pid.step(now, agg, l.EffectiveLimit(), l.CappedCount() > 0)
+	} else {
+		bands := l.effectiveBands()
+		action = bands.Decide(agg, l.CappedCount() > 0)
+		target = bands.CapTarget
+	}
+	rec := DecisionRecord{
+		Cycle: l.cycles, Time: now, Agg: agg, Valid: true,
+		Failures: failures, EffLimit: l.EffectiveLimit(),
+		Action: action, DryRun: l.cfg.DryRun,
+	}
+	switch action {
+	case ActionCap:
+		rec.Target = target
+		rec.ServersPlanned, rec.Achieved, rec.Shortfall = l.doCap(now, agg, target)
+	case ActionUncap:
+		l.doUncap(now)
+	}
+	l.journal.Add(rec)
+}
+
+// Journal returns the controller's decision log (oldest-first ring).
+func (l *Leaf) Journal() *Journal { return l.journal }
+
+// validate cross-checks the aggregation against the breaker's own coarse
+// reading when one is available.
+func (l *Leaf) validate(now time.Duration, agg power.Watts) {
+	if l.cfg.Validator == nil {
+		return
+	}
+	reading, ok := l.cfg.Validator()
+	if !ok || reading <= 0 {
+		return
+	}
+	diff := float64(agg-reading) / float64(reading)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > l.cfg.ValidationTolerance {
+		l.cfg.Alerts.emit(now, AlertWarning, l.cfg.DeviceID,
+			"aggregation %v disagrees with breaker reading %v by %.1f%%",
+			agg, reading, diff*100)
+	}
+}
+
+func (l *Leaf) doCap(now time.Duration, agg, target power.Watts) (planned int, achieved, shortfall power.Watts) {
+	totalCut := agg - target
+	if totalCut <= 0 {
+		return 0, 0, 0
+	}
+	snapshot := make([]ServerState, 0, len(l.order))
+	for _, id := range l.order {
+		st := l.agents[id]
+		snapshot = append(snapshot, ServerState{
+			ID:        id,
+			Service:   st.service,
+			Power:     power.Watts(st.reading),
+			Estimated: st.estimated,
+		})
+	}
+	plan := ComputePlan(snapshot, totalCut, l.cfg.Priorities)
+	if plan.Shortfall > 0 {
+		l.cfg.Alerts.emit(now, AlertCritical, l.cfg.DeviceID,
+			"capping plan short by %v (SLA floors reached)", plan.Shortfall)
+	}
+	if l.cfg.DryRun {
+		l.cfg.Alerts.emit(now, AlertInfo, l.cfg.DeviceID,
+			"dry-run: would cap %d servers for %v total cut", len(plan.Caps), plan.Achieved)
+		return len(plan.Caps), plan.Achieved, plan.Shortfall
+	}
+	l.capEvents++
+	for _, pc := range plan.Caps {
+		st := l.agents[pc.ID]
+		req := &agent.SetCapRequest{LimitWatts: float64(pc.Cap)}
+		capVal := pc.Cap
+		st.client.Call(agent.MethodSetCap, req, l.cfg.PullTimeout, func(resp []byte, err error) {
+			var ack agent.CapResponse
+			if rpc.Decode(resp, err, &ack) != nil || !ack.OK {
+				l.cfg.Alerts.emit(l.loop.Now(), AlertWarning, l.cfg.DeviceID,
+					"cap command to %s failed", st.id)
+				return
+			}
+			st.capped = true
+			st.capSent = capVal
+		})
+	}
+	return len(plan.Caps), plan.Achieved, plan.Shortfall
+}
+
+func (l *Leaf) doUncap(now time.Duration) {
+	if l.cfg.DryRun {
+		l.cfg.Alerts.emit(now, AlertInfo, l.cfg.DeviceID,
+			"dry-run: would uncap %d servers", l.CappedCount())
+		return
+	}
+	l.uncapEvents++
+	for _, id := range l.order {
+		st := l.agents[id]
+		if !st.capped {
+			continue
+		}
+		st.client.Call(agent.MethodClearCap, rpc.Empty, l.cfg.PullTimeout, func(resp []byte, err error) {
+			var ack agent.CapResponse
+			if rpc.Decode(resp, err, &ack) != nil || !ack.OK {
+				l.cfg.Alerts.emit(l.loop.Now(), AlertWarning, l.cfg.DeviceID,
+					"uncap command to %s failed", st.id)
+				return
+			}
+			st.capped = false
+			st.capSent = 0
+		})
+	}
+}
+
+// Handler serves the controller-to-controller protocol for this device.
+func (l *Leaf) Handler() rpc.Handler {
+	return func(method string, body []byte) (wire.Message, error) {
+		switch method {
+		case MethodCtrlReadPower:
+			return &CtrlReadPowerResponse{
+				AggWatts:      float64(l.lastAgg),
+				Valid:         l.lastValid,
+				CappedServers: l.CappedCount(),
+				QuotaWatts:    float64(l.cfg.Quota),
+				LimitWatts:    float64(l.cfg.Limit),
+				ContractWatts: float64(l.contract),
+			}, nil
+		case MethodCtrlSetContract:
+			var req SetContractRequest
+			if err := wire.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			l.contract = power.Watts(req.LimitWatts)
+			return &AckResponse{OK: true}, nil
+		case MethodCtrlClearContract:
+			l.contract = 0
+			return &AckResponse{OK: true}, nil
+		case MethodCtrlPing:
+			return &CtrlPingResponse{Healthy: l.Running(), Cycles: l.cycles}, nil
+		default:
+			return nil, fmt.Errorf("leaf %s: unknown method %q", l.cfg.DeviceID, method)
+		}
+	}
+}

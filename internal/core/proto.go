@@ -1,0 +1,108 @@
+// Package core implements Dynamo's controllers — the paper's primary
+// contribution (§III): the leaf power controller (3 s pull cycle over the
+// agents of one breaker-protected device, three-band cap/uncap decisions,
+// performance-aware capping plans), the upper-level power controller
+// (9 s cycle over child controllers, punish-offender-first coordination
+// through contractual power limits), and the coordinator that instantiates
+// a controller hierarchy mirroring the data center's power topology, with
+// primary/backup failover and an agent watchdog (§III-E, §VI).
+package core
+
+import "dynamo/internal/wire"
+
+// Controller RPC method names (used between controller levels).
+const (
+	MethodCtrlReadPower     = "Controller.ReadPower"
+	MethodCtrlSetContract   = "Controller.SetContract"
+	MethodCtrlClearContract = "Controller.ClearContract"
+	MethodCtrlPing          = "Controller.Ping"
+)
+
+// CtrlReadPowerResponse is what a controller reports upward: its device's
+// aggregated power and enough detail for the parent's offender analysis.
+type CtrlReadPowerResponse struct {
+	// AggWatts is the device's aggregated power.
+	AggWatts float64
+	// Valid is false when the controller's own aggregation was invalid
+	// (too many read failures); parents then reuse stale data.
+	Valid bool
+	// CappedServers is how many downstream servers are currently capped.
+	CappedServers int
+	// QuotaWatts echoes the device's configured power quota.
+	QuotaWatts float64
+	// LimitWatts echoes the device's physical breaker limit.
+	LimitWatts float64
+	// ContractWatts is the contractual limit currently imposed by the
+	// parent (0 when none).
+	ContractWatts float64
+}
+
+// MarshalWire implements wire.Message.
+func (m *CtrlReadPowerResponse) MarshalWire(e *wire.Encoder) {
+	e.Float64(m.AggWatts)
+	e.Bool(m.Valid)
+	e.Varint(int64(m.CappedServers))
+	e.Float64(m.QuotaWatts)
+	e.Float64(m.LimitWatts)
+	e.Float64(m.ContractWatts)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *CtrlReadPowerResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.AggWatts = d.Float64()
+	m.Valid = d.Bool()
+	m.CappedServers = int(d.Varint())
+	m.QuotaWatts = d.Float64()
+	m.LimitWatts = d.Float64()
+	m.ContractWatts = d.Float64()
+	return d.Err()
+}
+
+// SetContractRequest imposes a contractual power limit on a child
+// controller (paper §III-D). The child uses min(physical, contractual)
+// for its own three-band decisions.
+type SetContractRequest struct {
+	LimitWatts float64
+}
+
+// MarshalWire implements wire.Message.
+func (m *SetContractRequest) MarshalWire(e *wire.Encoder) { e.Float64(m.LimitWatts) }
+
+// UnmarshalWire implements wire.Message.
+func (m *SetContractRequest) UnmarshalWire(d *wire.Decoder) error {
+	m.LimitWatts = d.Float64()
+	return d.Err()
+}
+
+// AckResponse acknowledges a contract operation.
+type AckResponse struct {
+	OK bool
+}
+
+// MarshalWire implements wire.Message.
+func (m *AckResponse) MarshalWire(e *wire.Encoder) { e.Bool(m.OK) }
+
+// UnmarshalWire implements wire.Message.
+func (m *AckResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.OK = d.Bool()
+	return d.Err()
+}
+
+// CtrlPingResponse reports controller liveness for backup failover.
+type CtrlPingResponse struct {
+	Healthy bool
+	Cycles  uint64
+}
+
+// MarshalWire implements wire.Message.
+func (m *CtrlPingResponse) MarshalWire(e *wire.Encoder) {
+	e.Bool(m.Healthy)
+	e.Uvarint(m.Cycles)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *CtrlPingResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.Healthy = d.Bool()
+	m.Cycles = d.Uvarint()
+	return d.Err()
+}

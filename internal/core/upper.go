@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dynamo/internal/metrics"
+	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// UpperConfig configures an upper-level power controller (paper §III-D).
+type UpperConfig struct {
+	// DeviceID names the protected power device (an SB or MSB).
+	DeviceID string
+	// Limit is the device's physical breaker limit.
+	Limit power.Watts
+	// Quota is this device's own planned peak, used by ITS parent.
+	Quota power.Watts
+	// Bands is the three-band configuration.
+	Bands BandConfig
+	// PollInterval is the pull cycle over child controllers. The paper
+	// uses 9 s — three leaf cycles — so child actions settle between
+	// parent readings ("the pulling cycle for the upper-level controller
+	// is longer than the settling time of the downstream leaf
+	// controller").
+	PollInterval time.Duration
+	// PullTimeout bounds each child pull.
+	PullTimeout time.Duration
+	// MaxStaleFrac is the fraction of children allowed to be stale
+	// (unreachable this cycle, reusing last-known values) before the
+	// aggregation is declared invalid.
+	MaxStaleFrac float64
+	// OffenderBucket is the bucket width for distributing cuts among
+	// offending children (the kW-scale analogue of the 20 W server
+	// bucket).
+	OffenderBucket power.Watts
+	// DryRun computes decisions without sending contracts.
+	DryRun bool
+	// Alerts receives operator alerts.
+	Alerts AlertFunc
+}
+
+func (c *UpperConfig) fillDefaults() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 9 * time.Second
+	}
+	if c.PullTimeout <= 0 {
+		c.PullTimeout = c.PollInterval / 2
+	}
+	if c.MaxStaleFrac <= 0 {
+		c.MaxStaleFrac = 0.5
+	}
+	if c.Bands == (BandConfig{}) {
+		c.Bands = DefaultBandConfig()
+	}
+	if c.OffenderBucket <= 0 {
+		c.OffenderBucket = power.KW(5)
+	}
+}
+
+// ChildRef identifies one downstream controller.
+type ChildRef struct {
+	ID     string
+	Client rpc.Client
+	// Quota is the child's planned peak power; children above quota are
+	// the "offenders" capped first.
+	Quota power.Watts
+}
+
+type childState struct {
+	id     string
+	client rpc.Client
+	quota  power.Watts
+
+	lastAgg    power.Watts
+	everSeen   bool
+	stale      bool
+	staleFor   int
+	contract   power.Watts
+	contracted bool
+
+	// cycle-local
+	ok      bool
+	reading power.Watts
+}
+
+// Upper is an upper-level power controller coordinating child controllers
+// through contractual power limits. Like Leaf, it is loop-confined.
+type Upper struct {
+	cfg  UpperConfig
+	loop simclock.Loop
+
+	children map[string]*childState
+	order    []string
+
+	ticker   *simclock.Ticker
+	cycleSeq uint64
+	inflight int
+	cycles   uint64
+
+	contract  power.Watts // from our own parent
+	lastAgg   power.Watts
+	lastValid bool
+	// recentAgg holds the last few valid aggregates; cut sizing uses
+	// their mean so a single noisy 9 s sample cannot inflate the needed
+	// cut beyond the offenders' over-quota headroom.
+	recentAgg []power.Watts
+	// holdoffUntil is the cycle count before which no further capping is
+	// issued, giving the previous action time to settle downstream.
+	holdoffUntil uint64
+
+	history *metrics.Series
+
+	capEvents   uint64
+	uncapEvents uint64
+}
+
+// NewUpper creates an upper-level controller over child controllers.
+func NewUpper(loop simclock.Loop, cfg UpperConfig, children []ChildRef) *Upper {
+	cfg.fillDefaults()
+	u := &Upper{
+		cfg:      cfg,
+		loop:     loop,
+		children: make(map[string]*childState, len(children)),
+		history:  metrics.NewSeries(1024),
+	}
+	for _, c := range children {
+		u.children[c.ID] = &childState{id: c.ID, client: c.Client, quota: c.Quota}
+		u.order = append(u.order, c.ID)
+	}
+	u.ticker = simclock.NewTicker(loop, cfg.PollInterval, u.pollCycle)
+	return u
+}
+
+// DeviceID returns the protected device's identifier.
+func (u *Upper) DeviceID() string { return u.cfg.DeviceID }
+
+// Start begins the pull cycle.
+func (u *Upper) Start() { u.ticker.Start() }
+
+// Stop halts the pull cycle.
+func (u *Upper) Stop() { u.ticker.Stop() }
+
+// Running reports whether the controller is polling.
+func (u *Upper) Running() bool { return u.ticker.Active() }
+
+// Cycles returns completed cycles.
+func (u *Upper) Cycles() uint64 { return u.cycles }
+
+// LastAggregate returns the most recent aggregate and validity.
+func (u *Upper) LastAggregate() (power.Watts, bool) { return u.lastAgg, u.lastValid }
+
+// History returns the aggregate power series.
+func (u *Upper) History() *metrics.Series { return u.history }
+
+// CapEvents returns how many capping actions were taken.
+func (u *Upper) CapEvents() uint64 { return u.capEvents }
+
+// ContractedChildren returns the IDs currently under a contractual limit.
+func (u *Upper) ContractedChildren() []string {
+	var out []string
+	for _, id := range u.order {
+		if u.children[id].contracted {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EffectiveLimit is min(physical, contract-from-parent).
+func (u *Upper) EffectiveLimit() power.Watts {
+	if u.contract > 0 && u.contract < u.cfg.Limit {
+		return u.contract
+	}
+	return u.cfg.Limit
+}
+
+// effectiveBands mirrors Leaf.effectiveBands: contractual limits are
+// enforced directly rather than re-margined (see the comment there).
+func (u *Upper) effectiveBands() Bands {
+	if u.contract > 0 && u.contract < u.cfg.Limit {
+		return contractBands(u.contract, u.cfg.Bands)
+	}
+	return u.cfg.Bands.BandsFor(u.cfg.Limit)
+}
+
+func (u *Upper) pollCycle() {
+	if u.inflight > 0 {
+		return
+	}
+	u.cycleSeq++
+	seq := u.cycleSeq
+	u.inflight = len(u.order)
+	if u.inflight == 0 {
+		u.finishCycle()
+		return
+	}
+	for _, id := range u.order {
+		st := u.children[id]
+		st.ok = false
+		st.client.Call(MethodCtrlReadPower, rpc.Empty, u.cfg.PullTimeout,
+			func(resp []byte, err error) { u.onPull(seq, st, resp, err) })
+	}
+}
+
+func (u *Upper) onPull(seq uint64, st *childState, resp []byte, err error) {
+	if seq != u.cycleSeq {
+		return
+	}
+	if err == nil {
+		var r CtrlReadPowerResponse
+		if derr := wire.Unmarshal(resp, &r); derr == nil && r.Valid {
+			st.ok = true
+			st.reading = power.Watts(r.AggWatts)
+			st.lastAgg = st.reading
+			st.everSeen = true
+			if r.QuotaWatts > 0 {
+				st.quota = power.Watts(r.QuotaWatts)
+			}
+		}
+	}
+	u.inflight--
+	if u.inflight == 0 {
+		u.finishCycle()
+	}
+}
+
+func (u *Upper) finishCycle() {
+	now := u.loop.Now()
+	u.cycles++
+
+	stale := 0
+	staleSeen := false
+	var total power.Watts
+	for _, id := range u.order {
+		st := u.children[id]
+		if st.ok {
+			st.stale = false
+			st.staleFor = 0
+		} else {
+			stale++
+			st.stale = true
+			st.staleFor++
+			st.reading = st.lastAgg // reuse last-known
+			if st.everSeen {
+				staleSeen = true
+			}
+		}
+		total += st.reading
+	}
+	staleFrac := 0.0
+	if len(u.order) > 0 {
+		staleFrac = float64(stale) / float64(len(u.order))
+	}
+	if staleFrac > u.cfg.MaxStaleFrac {
+		u.lastValid = false
+		// During the first cycles after a (re)start, children may simply
+		// not have completed their own first aggregation yet; that is
+		// expected and not alert-worthy.
+		if u.cycles > 2 || staleSeen {
+			u.cfg.Alerts.emit(now, AlertCritical, u.cfg.DeviceID,
+				"aggregation invalid: %d/%d children unreachable", stale, len(u.order))
+		}
+		return
+	}
+
+	u.lastAgg = total
+	u.lastValid = true
+	u.history.Add(now, float64(total))
+
+	u.recentAgg = append(u.recentAgg, total)
+	if len(u.recentAgg) > 3 {
+		u.recentAgg = u.recentAgg[1:]
+	}
+	var smoothed power.Watts
+	for _, v := range u.recentAgg {
+		smoothed += v
+	}
+	smoothed /= power.Watts(len(u.recentAgg))
+
+	bands := u.effectiveBands()
+	anyContracted := len(u.ContractedChildren()) > 0
+	switch bands.Decide(total, anyContracted) {
+	case ActionCap:
+		// Conservative single-step actuation (paper §III-C2, ref [22]):
+		// size the cut from the smaller of the live and smoothed
+		// aggregates so a single noisy sample cannot inflate it, and let
+		// the previous action settle (leaf cycle + RAPL + read-back)
+		// before tightening again.
+		if u.cycles >= u.holdoffUntil {
+			basis := total
+			if smoothed < basis {
+				basis = smoothed
+			}
+			u.doCap(now, basis, bands.CapTarget)
+		}
+	case ActionUncap:
+		u.doUncap(now)
+	}
+}
+
+// doCap runs punish-offender-first (paper §III-D): the needed cut is
+// distributed among children whose usage exceeds their power quota,
+// high-bucket-first on the overage; only if the offenders cannot absorb it
+// does the residual spread to the remaining children.
+func (u *Upper) doCap(now time.Duration, agg, target power.Watts) {
+	needed := agg - target
+	if needed <= 0 {
+		return
+	}
+	cuts := u.planChildCuts(needed)
+	u.holdoffUntil = u.cycles + 2
+	if u.cfg.DryRun {
+		u.cfg.Alerts.emit(now, AlertInfo, u.cfg.DeviceID,
+			"dry-run: would contract %d children", len(cuts))
+		return
+	}
+	u.capEvents++
+	for id, cut := range cuts {
+		st := u.children[id]
+		contract := st.reading - cut
+		if st.contracted && st.contract < contract {
+			contract = st.contract // never loosen mid-incident
+		}
+		st.contract = contract
+		st.contracted = true
+		req := &SetContractRequest{LimitWatts: float64(contract)}
+		st.client.Call(MethodCtrlSetContract, req, u.cfg.PullTimeout, func(resp []byte, err error) {
+			var ack AckResponse
+			if rpc.Decode(resp, err, &ack) != nil || !ack.OK {
+				u.cfg.Alerts.emit(u.loop.Now(), AlertWarning, u.cfg.DeviceID,
+					"contract to %s failed", st.id)
+			}
+		})
+	}
+}
+
+// planChildCuts distributes the needed cut: offenders first (down to their
+// quota), then, if still unmet, across all children high-bucket-first.
+func (u *Upper) planChildCuts(needed power.Watts) map[string]power.Watts {
+	cuts := map[string]power.Watts{}
+	remaining := needed
+
+	// Pass 1: offenders, high-bucket-first on overage, floored at quota.
+	var offenders []ServerState
+	for _, id := range u.order {
+		st := u.children[id]
+		if st.quota > 0 && st.reading > st.quota {
+			offenders = append(offenders, ServerState{
+				ID:      id,
+				Service: "offender",
+				Power:   st.reading - st.quota, // overage
+			})
+		}
+	}
+	if len(offenders) > 0 && remaining > 0 {
+		got, achieved := planGroup(offenders, remaining, u.cfg.OffenderBucket, 0)
+		for id, c := range got {
+			cuts[id] += c
+		}
+		remaining -= achieved
+	}
+
+	// Pass 2 (beyond the paper's example, needed when offenders alone
+	// cannot absorb the cut): all children, high-bucket-first on usage,
+	// floored at half their quota.
+	if remaining > power.Watts(1) {
+		var all []ServerState
+		for _, id := range u.order {
+			st := u.children[id]
+			eff := st.reading - cuts[id]
+			all = append(all, ServerState{ID: id, Service: "child", Power: eff})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		var floor power.Watts
+		for _, id := range u.order {
+			if q := u.children[id].quota; q > 0 {
+				floor += q / 2
+			}
+		}
+		if len(u.order) > 0 {
+			floor /= power.Watts(len(u.order))
+		}
+		got, _ := planGroup(all, remaining, u.cfg.OffenderBucket, floor)
+		for id, c := range got {
+			cuts[id] += c
+		}
+	}
+	return cuts
+}
+
+func (u *Upper) doUncap(now time.Duration) {
+	if u.cfg.DryRun {
+		return
+	}
+	u.uncapEvents++
+	for _, id := range u.order {
+		st := u.children[id]
+		if !st.contracted {
+			continue
+		}
+		st.client.Call(MethodCtrlClearContract, rpc.Empty, u.cfg.PullTimeout, func(resp []byte, err error) {
+			var ack AckResponse
+			if rpc.Decode(resp, err, &ack) != nil || !ack.OK {
+				u.cfg.Alerts.emit(u.loop.Now(), AlertWarning, u.cfg.DeviceID,
+					"clear contract to %s failed", st.id)
+				return
+			}
+			st.contracted = false
+			st.contract = 0
+		})
+	}
+}
+
+// Handler serves the controller protocol for this device (so an MSB
+// controller can pull an SB controller exactly as an SB pulls leaves).
+func (u *Upper) Handler() rpc.Handler {
+	return func(method string, body []byte) (wire.Message, error) {
+		switch method {
+		case MethodCtrlReadPower:
+			capped := 0
+			for _, st := range u.children {
+				if st.contracted {
+					capped++
+				}
+			}
+			return &CtrlReadPowerResponse{
+				AggWatts:      float64(u.lastAgg),
+				Valid:         u.lastValid,
+				CappedServers: capped,
+				QuotaWatts:    float64(u.cfg.Quota),
+				LimitWatts:    float64(u.cfg.Limit),
+				ContractWatts: float64(u.contract),
+			}, nil
+		case MethodCtrlSetContract:
+			var req SetContractRequest
+			if err := wire.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			u.contract = power.Watts(req.LimitWatts)
+			return &AckResponse{OK: true}, nil
+		case MethodCtrlClearContract:
+			u.contract = 0
+			return &AckResponse{OK: true}, nil
+		case MethodCtrlPing:
+			return &CtrlPingResponse{Healthy: u.Running(), Cycles: u.cycles}, nil
+		default:
+			return nil, fmt.Errorf("upper %s: unknown method %q", u.cfg.DeviceID, method)
+		}
+	}
+}

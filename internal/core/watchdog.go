@@ -1,0 +1,107 @@
+package core
+
+import (
+	"time"
+
+	"dynamo/internal/agent"
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// WatchdogConfig configures the agent health checker (paper §III-E: "a
+// script periodically checks the health of an agent and restarts the
+// agents in case the agent crashes").
+type WatchdogConfig struct {
+	// Interval between health sweeps.
+	Interval time.Duration
+	// FailThreshold is consecutive failed pings before a restart.
+	FailThreshold int
+	// PingTimeout bounds each probe.
+	PingTimeout time.Duration
+	// Restart is invoked with the server ID to restart its agent; the
+	// environment (simulator or init system) owns the mechanism.
+	Restart func(serverID string)
+	// Alerts receives restart notices.
+	Alerts AlertFunc
+}
+
+func (c *WatchdogConfig) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = c.Interval / 2
+	}
+}
+
+// Watchdog pings a set of agents and restarts unresponsive ones.
+type Watchdog struct {
+	cfg  WatchdogConfig
+	loop simclock.Loop
+
+	clients map[string]rpc.Client
+	order   []string
+	misses  map[string]int
+	ticker  *simclock.Ticker
+
+	restarts uint64
+}
+
+// NewWatchdog creates a watchdog over the agents addressed by server ID.
+func NewWatchdog(loop simclock.Loop, net *rpc.Network, serverIDs []string, cfg WatchdogConfig) *Watchdog {
+	cfg.fillDefaults()
+	w := &Watchdog{
+		cfg:     cfg,
+		loop:    loop,
+		clients: map[string]rpc.Client{},
+		misses:  map[string]int{},
+	}
+	for _, id := range serverIDs {
+		w.clients[id] = net.Dial(AgentAddr(id))
+		w.order = append(w.order, id)
+	}
+	w.ticker = simclock.NewTicker(loop, cfg.Interval, w.sweep)
+	return w
+}
+
+// Start begins health sweeps.
+func (w *Watchdog) Start() { w.ticker.Start() }
+
+// Stop halts health sweeps.
+func (w *Watchdog) Stop() { w.ticker.Stop() }
+
+// Restarts returns how many agent restarts the watchdog has requested.
+func (w *Watchdog) Restarts() uint64 { return w.restarts }
+
+func (w *Watchdog) sweep() {
+	for _, id := range w.order {
+		id := id
+		w.clients[id].Call(agent.MethodPing, rpc.Empty, w.cfg.PingTimeout, func(resp []byte, err error) {
+			healthy := false
+			if err == nil {
+				var pong agent.PingResponse
+				if wire.Unmarshal(resp, &pong) == nil {
+					healthy = pong.Healthy
+				}
+			}
+			if healthy {
+				w.misses[id] = 0
+				return
+			}
+			w.misses[id]++
+			if w.misses[id] >= w.cfg.FailThreshold {
+				w.misses[id] = 0
+				w.restarts++
+				w.cfg.Alerts.emit(w.loop.Now(), AlertWarning, "watchdog",
+					"agent %s unresponsive; restarting", id)
+				if w.cfg.Restart != nil {
+					w.cfg.Restart(id)
+				}
+			}
+		})
+	}
+}

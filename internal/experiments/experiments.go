@@ -1,0 +1,63 @@
+// Package experiments regenerates every table and figure from the paper's
+// evaluation (§II and §IV). Each Figure*/Table* function builds the
+// workload and fleet the paper describes (scaled to run in seconds),
+// executes it on the deterministic simulator, prints the same rows/series
+// the paper reports, and returns a structured result that the test suite
+// asserts shape properties on (who wins, by roughly what factor, where
+// crossovers fall).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Options control experiment execution.
+type Options struct {
+	// Seed drives all randomness; results are reproducible per seed.
+	Seed int64
+	// Scale in (0, 1] shrinks fleet sizes and durations for quick runs
+	// (benchmarks use small scales; the CLI defaults to 1.0).
+	Scale float64
+	// W receives the human-readable report; nil discards it.
+	W io.Writer
+}
+
+func (o *Options) fill() {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1.0
+	}
+	if o.W == nil {
+		o.W = io.Discard
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// scaleInt scales n by o.Scale with a floor.
+func (o Options) scaleInt(n, min int) int {
+	v := int(float64(n) * o.Scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// scaleDur scales d by o.Scale with a floor.
+func (o Options) scaleDur(d, min time.Duration) time.Duration {
+	v := time.Duration(float64(d) * o.Scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+func (o Options) printf(format string, args ...interface{}) {
+	fmt.Fprintf(o.W, format, args...)
+}
+
+func (o Options) section(title string) {
+	fmt.Fprintf(o.W, "\n== %s ==\n", title)
+}

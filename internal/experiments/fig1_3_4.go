@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"time"
+
+	"dynamo/internal/metrics"
+	"dynamo/internal/power"
+	"dynamo/internal/server"
+)
+
+// Figure1Result holds the power-vs-utilization curves for the two web
+// server generations (paper Fig 1).
+type Figure1Result struct {
+	Utils []float64
+	// Watts maps generation name to the power curve.
+	Watts map[string][]float64
+}
+
+// Figure1 sweeps CPU utilization on the 2011 Westmere and 2015 Haswell
+// web server models and reports power at each point.
+func Figure1(o Options) Figure1Result {
+	o.fill()
+	o.section("Figure 1: server power vs CPU utilization, 2011 vs 2015 web servers")
+	gens := []string{"westmere2011", "haswell2015"}
+	res := Figure1Result{Watts: map[string][]float64{}}
+	for u := 0.0; u <= 100.0001; u += 5 {
+		res.Utils = append(res.Utils, u)
+	}
+	for _, g := range gens {
+		m := server.MustModel(g)
+		for _, u := range res.Utils {
+			res.Watts[g] = append(res.Watts[g], float64(m.PowerAt(u/100, 1.0)))
+		}
+	}
+	o.printf("%-8s %18s %18s\n", "util%", "westmere2011 (W)", "haswell2015 (W)")
+	for i, u := range res.Utils {
+		o.printf("%-8.0f %18.1f %18.1f\n", u, res.Watts["westmere2011"][i], res.Watts["haswell2015"][i])
+	}
+	return res
+}
+
+// Figure3Result holds breaker trip times per device class and overdraw
+// ratio (paper Fig 3).
+type Figure3Result struct {
+	Ratios []float64
+	// TripSeconds maps device class name to trip time per ratio.
+	TripSeconds map[string][]float64
+}
+
+// Figure3 sweeps the normalized power overdraw and reports trip time per
+// device class, reproducing the inverse-time curves of Fig 3.
+func Figure3(o Options) Figure3Result {
+	o.fill()
+	o.section("Figure 3: breaker trip time vs power normalized to rating")
+	res := Figure3Result{TripSeconds: map[string][]float64{}}
+	for _, r := range []float64{1.05, 1.1, 1.15, 1.2, 1.3, 1.4, 1.6, 1.8, 2.0} {
+		res.Ratios = append(res.Ratios, r)
+	}
+	o.printf("%-8s", "ratio")
+	for _, c := range power.Classes() {
+		o.printf(" %12s(s)", c)
+	}
+	o.printf("\n")
+	for _, r := range res.Ratios {
+		o.printf("%-8.2f", r)
+		for _, c := range power.Classes() {
+			tt, trips := power.DefaultTripCurve(c).TripTime(r)
+			secs := 0.0
+			if trips {
+				secs = tt.Seconds()
+			}
+			res.TripSeconds[c.String()] = append(res.TripSeconds[c.String()], secs)
+			o.printf(" %12.1f   ", secs)
+		}
+		o.printf("\n")
+	}
+	return res
+}
+
+// Figure4Result demonstrates the windowed power-variation metric
+// definition (paper Fig 4): the same series measured at two window sizes.
+type Figure4Result struct {
+	V1, V2 float64
+	W1, W2 time.Duration
+}
+
+// Figure4 constructs a synthetic power trace and computes the max−min
+// variation for two window sizes, illustrating (and pinning down) the
+// metric every characterization figure uses.
+func Figure4(o Options) Figure4Result {
+	o.fill()
+	o.section("Figure 4: windowed power-variation metric (v = max − min per window)")
+	s := metrics.NewSeries(64)
+	// A ramp with a dip: short windows see local variation, long windows
+	// see the full swing.
+	vals := []float64{100, 104, 98, 110, 120, 116, 125, 90, 95, 130, 128, 126}
+	for i, v := range vals {
+		s.Add(time.Duration(i)*3*time.Second, v)
+	}
+	w1, w2 := 9*time.Second, 36*time.Second
+	v1s := s.WindowVariations(w1)
+	v2s := s.WindowVariations(w2)
+	max := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	res := Figure4Result{V1: max(v1s), V2: max(v2s), W1: w1, W2: w2}
+	o.printf("window %-6v worst-case variation v1 = %.1f W\n", w1, res.V1)
+	o.printf("window %-6v worst-case variation v2 = %.1f W\n", w2, res.V2)
+	return res
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"time"
+
+	"dynamo/internal/core"
+	"dynamo/internal/metrics"
+	"dynamo/internal/power"
+	"dynamo/internal/server"
+)
+
+// Figure9Result holds the single-server cap/uncap timeline (paper Fig 9).
+type Figure9Result struct {
+	Series *metrics.Series
+	// CapAt / UncapAt are when the commands were issued.
+	CapAt, UncapAt time.Duration
+	// CapSettle / UncapSettle are how long power took to reach within
+	// 2 W of the target after each command.
+	CapSettle, UncapSettle time.Duration
+	Target                 power.Watts
+	Baseline               power.Watts
+}
+
+// Figure9 reproduces the single-server RAPL test: a web server at steady
+// load is capped at t≈4.65 s and uncapped at t≈12.07 s; both transitions
+// settle in about two seconds.
+func Figure9(o Options) Figure9Result {
+	o.fill()
+	o.section("Figure 9: single-server power capping/uncapping via RAPL")
+
+	srv := server.New(server.Config{
+		ID: "fig9", Service: "web",
+		Model:  server.MustModel("haswell2015"),
+		Source: server.LoadFunc(func(time.Duration) float64 { return 0.55 }),
+	})
+	res := Figure9Result{
+		Series:  metrics.NewSeries(256),
+		CapAt:   4650 * time.Millisecond,
+		UncapAt: 12067 * time.Millisecond,
+	}
+	step := 100 * time.Millisecond
+	// Warm up to steady state before t=0 of the plot.
+	for now := -3 * time.Second; now < 0; now += step {
+		srv.Tick(now)
+	}
+	res.Baseline = srv.Power()
+	res.Target = res.Baseline - 60 // ~235 -> ~175 W, like the figure's 230->170
+
+	capped := false
+	uncapped := false
+	for now := time.Duration(0); now <= 18*time.Second; now += step {
+		if !capped && now >= res.CapAt {
+			srv.SetLimit(res.Target)
+			capped = true
+		}
+		if !uncapped && now >= res.UncapAt {
+			srv.ClearLimit()
+			uncapped = true
+		}
+		srv.Tick(now)
+		res.Series.Add(now, float64(srv.Power()))
+
+		if capped && res.CapSettle == 0 && float64(srv.Power()) <= float64(res.Target)+2 {
+			res.CapSettle = now - res.CapAt
+		}
+		if uncapped && res.UncapSettle == 0 && float64(srv.Power()) >= float64(res.Baseline)-2 {
+			res.UncapSettle = now - res.UncapAt
+		}
+	}
+
+	o.printf("baseline %v, cap target %v\n", res.Baseline, res.Target)
+	o.printf("cap issued at %v, settled in %v\n", res.CapAt, res.CapSettle)
+	o.printf("uncap issued at %v, settled in %v\n", res.UncapAt, res.UncapSettle)
+	o.printf("%-8s %10s\n", "t(s)", "power(W)")
+	for i := 0; i < res.Series.Len(); i += 10 { // print at 1 s granularity
+		ts, v := res.Series.At(i)
+		o.printf("%-8.1f %10.1f\n", ts.Seconds(), v)
+	}
+	return res
+}
+
+// Figure10Result traces the three-band algorithm over a synthetic power
+// ramp (paper Fig 10).
+type Figure10Result struct {
+	// Actions is the decision sequence over the ramp.
+	Actions []core.Action
+	// CapCount/UncapCount count transitions; the hysteresis bands must
+	// produce exactly one capping episode for a single up-down swing.
+	CapCount, UncapCount int
+}
+
+// Figure10 drives the three-band decision logic with a power trace that
+// rises through the capping threshold and later falls through the
+// uncapping threshold, demonstrating oscillation-free control.
+func Figure10(o Options) Figure10Result {
+	o.fill()
+	o.section("Figure 10: three-band capping/uncapping algorithm")
+
+	limit := power.KW(100)
+	bands := core.DefaultBandConfig().BandsFor(limit)
+	o.printf("limit %v: cap threshold %v, cap target %v, uncap threshold %v\n",
+		limit, bands.CapThreshold, bands.CapTarget, bands.UncapThreshold)
+
+	// Synthetic aggregate trace: ramp up past the threshold, dwell near
+	// the target (as capping would hold it), then drain below the
+	// uncapping threshold.
+	trace := []float64{80, 85, 90, 95, 98, 99.5, 100.5, 96, 95, 94.8, 95.2, 94.9, 93, 91, 89.5, 85, 80}
+	var res Figure10Result
+	capped := false
+	for i, kw := range trace {
+		a := bands.Decide(power.KW(kw), capped)
+		res.Actions = append(res.Actions, a)
+		switch a {
+		case core.ActionCap:
+			if !capped {
+				res.CapCount++
+			}
+			capped = true
+		case core.ActionUncap:
+			if capped {
+				res.UncapCount++
+			}
+			capped = false
+		}
+		o.printf("t=%2ds power=%6.1f kW -> %s\n", i*3, kw, a)
+	}
+	return res
+}

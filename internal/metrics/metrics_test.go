@@ -1,0 +1,280 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries(4)
+	if _, _, ok := s.Last(); ok {
+		t.Error("empty series has no last")
+	}
+	s.Add(sec(0), 1)
+	s.Add(sec(3), 5)
+	s.Add(sec(6), 3)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if ts, v := s.At(1); ts != sec(3) || v != 5 {
+		t.Errorf("At(1) = %v, %v", ts, v)
+	}
+	if ts, v, ok := s.Last(); !ok || ts != sec(6) || v != 3 {
+		t.Errorf("Last = %v %v %v", ts, v, ok)
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("mean = %v", got)
+	}
+	if s.Max() != 5 || s.Min() != 1 {
+		t.Errorf("max/min = %v/%v", s.Max(), s.Min())
+	}
+}
+
+func TestSeriesRejectsNonMonotonic(t *testing.T) {
+	s := NewSeries(0)
+	s.Add(sec(5), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Add(sec(4), 2)
+}
+
+func TestWindowVariations(t *testing.T) {
+	s := NewSeries(0)
+	// Two 60 s windows of 3 s samples: first varies 10..20, second 5..8.
+	for i := 0; i < 20; i++ {
+		v := 10.0
+		if i%2 == 1 {
+			v = 20.0
+		}
+		s.Add(time.Duration(i)*3*time.Second, v)
+	}
+	for i := 20; i < 40; i++ {
+		v := 5.0
+		if i%2 == 1 {
+			v = 8.0
+		}
+		s.Add(time.Duration(i)*3*time.Second, v)
+	}
+	vars := s.WindowVariations(60 * time.Second)
+	if len(vars) != 2 {
+		t.Fatalf("windows = %v", vars)
+	}
+	if vars[0] != 10 || vars[1] != 3 {
+		t.Errorf("variations = %v, want [10 3]", vars)
+	}
+}
+
+func TestWindowVariationsSkipsSingletons(t *testing.T) {
+	s := NewSeries(0)
+	s.Add(0, 1)
+	s.Add(10*time.Minute, 100) // far apart: each its own window
+	if got := s.WindowVariations(time.Minute); got != nil {
+		t.Errorf("singleton windows should be skipped, got %v", got)
+	}
+}
+
+func TestWindowVariationsEdgeCases(t *testing.T) {
+	s := NewSeries(0)
+	if s.WindowVariations(time.Minute) != nil {
+		t.Error("empty series")
+	}
+	s.Add(0, 1)
+	if s.WindowVariations(0) != nil {
+		t.Error("zero window")
+	}
+}
+
+// Property: every windowed variation is bounded by the series' global
+// max−min and is non-negative.
+func TestWindowVariationBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		s := NewSeries(len(raw))
+		for i, r := range raw {
+			s.Add(time.Duration(i)*3*time.Second, float64(r))
+		}
+		global := s.Max() - s.Min()
+		for _, v := range s.WindowVariations(30 * time.Second) {
+			if v < 0 || v > global+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargerWindowsLargerVariation(t *testing.T) {
+	// Paper observation: larger time windows have generally larger power
+	// variations. For a random walk this must hold in expectation.
+	s := NewSeries(0)
+	v := 100.0
+	seed := uint64(12345)
+	for i := 0; i < 5000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		if (seed>>17)&1 == 0 {
+			v += 1
+		} else {
+			v -= 1
+		}
+		s.Add(time.Duration(i)*3*time.Second, v)
+	}
+	mean := func(xs []float64) float64 {
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		return sum / float64(len(xs))
+	}
+	v30 := mean(s.WindowVariations(30 * time.Second))
+	v300 := mean(s.WindowVariations(300 * time.Second))
+	if v300 <= v30 {
+		t.Errorf("variation at 300s (%v) should exceed 30s (%v)", v300, v30)
+	}
+}
+
+func TestMaxRise(t *testing.T) {
+	s := NewSeries(0)
+	vals := []float64{10, 8, 12, 7, 15, 9}
+	for i, v := range vals {
+		s.Add(time.Duration(i)*3*time.Second, v)
+	}
+	// Largest rise within 6 s windows: 7 -> 15 = 8.
+	if got := s.MaxRise(6 * time.Second); got != 8 {
+		t.Errorf("MaxRise(6s) = %v, want 8", got)
+	}
+	// Within 3 s: best adjacent rise is 7->15 = 8 as well.
+	if got := s.MaxRise(3 * time.Second); got != 8 {
+		t.Errorf("MaxRise(3s) = %v, want 8", got)
+	}
+	if got := NewSeries(0).MaxRise(time.Second); got != 0 {
+		t.Errorf("empty MaxRise = %v", got)
+	}
+}
+
+func TestMaxRiseWindowLimits(t *testing.T) {
+	s := NewSeries(0)
+	// Drop then slow climb: rise only visible in long windows.
+	s.Add(sec(0), 100)
+	s.Add(sec(10), 50)
+	s.Add(sec(20), 60)
+	s.Add(sec(30), 70)
+	s.Add(sec(40), 80)
+	if got := s.MaxRise(sec(10)); got != 10 {
+		t.Errorf("short-window rise = %v, want 10", got)
+	}
+	if got := s.MaxRise(sec(30)); got != 30 {
+		t.Errorf("long-window rise = %v, want 30", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	d := NewDistribution([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := d.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := d.Percentile(100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := d.Percentile(50); got != 5.5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := NewDistribution(nil).Percentile(50); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	d := NewDistribution([]float64{1, 2, 2, 3})
+	cases := []struct{ v, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := d.CDF(c.v); got != c.want {
+			t.Errorf("CDF(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if NewDistribution(nil).CDF(1) != 0 {
+		t.Error("empty CDF")
+	}
+}
+
+func TestPoints(t *testing.T) {
+	d := NewDistribution([]float64{0, 10})
+	pts := d.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Value != 0 || pts[10].Value != 10 {
+		t.Errorf("endpoints = %v, %v", pts[0], pts[10])
+	}
+	if pts[5].Prob != 0.5 {
+		t.Errorf("mid prob = %v", pts[5].Prob)
+	}
+	if NewDistribution(nil).Points(5) != nil {
+		t.Error("empty points")
+	}
+}
+
+// Property: Percentile is monotone in p and within [min, max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		d := NewDistribution(vals)
+		pa, pb := float64(a)/255*100, float64(b)/255*100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := d.Percentile(pa), d.Percentile(pb)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return va <= vb+1e-12 && va >= sorted[0]-1e-12 && vb <= sorted[len(sorted)-1]+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum := Summarize([]float64{1, 2, 3, 4})
+	if sum.N != 4 || sum.Mean != 2.5 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.P50 != 2.5 {
+		t.Errorf("p50 = %v", sum.P50)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestDistributionDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	d := NewDistribution(in)
+	in[0] = 99
+	if got := d.Percentile(100); got != 3 {
+		t.Errorf("distribution aliased caller slice: %v", got)
+	}
+	if math.IsNaN(d.Percentile(50)) {
+		t.Error("NaN percentile")
+	}
+}

@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dynamo/internal/power"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func TestObserveAndHistory(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 10; i++ {
+		m.Observe(sec(i*3), []Observation{
+			{Device: "rpp1", Class: power.ClassRPP, Power: power.KW(100 + float64(i)), Limit: power.KW(190)},
+		})
+	}
+	h := m.DeviceHistory("rpp1")
+	if h == nil || h.Len() != 10 {
+		t.Fatalf("history len = %v", h)
+	}
+	if m.DeviceHistory("nope") != nil {
+		t.Error("unknown device should be nil")
+	}
+}
+
+func TestHeadroomReport(t *testing.T) {
+	m := New(Config{})
+	m.Observe(0, []Observation{
+		{Device: "rpp1", Class: power.ClassRPP, Power: power.KW(120), Limit: power.KW(190)},
+		{Device: "rpp2", Class: power.ClassRPP, Power: power.KW(180), Limit: power.KW(190)},
+		{Device: "sb1", Class: power.ClassSB, Power: power.MW(1.0), Limit: power.MW(1.25)},
+	})
+	rep := m.HeadroomReport()
+	if len(rep) != 3 {
+		t.Fatalf("report = %d entries", len(rep))
+	}
+	// Sorted by class (SB before RPP per enum order), stranded desc within.
+	if rep[0].Class != power.ClassSB {
+		t.Errorf("first class = %v", rep[0].Class)
+	}
+	if rep[1].Device != "rpp1" { // more stranded than rpp2
+		t.Errorf("rpp order: %v", rep[1].Device)
+	}
+	if rep[1].Stranded != power.KW(70) {
+		t.Errorf("rpp1 stranded = %v", rep[1].Stranded)
+	}
+}
+
+func TestStrandedByClass(t *testing.T) {
+	m := New(Config{})
+	m.Observe(0, []Observation{
+		{Device: "rpp1", Class: power.ClassRPP, Power: power.KW(100), Limit: power.KW(190)},
+		{Device: "rpp2", Class: power.ClassRPP, Power: power.KW(150), Limit: power.KW(190)},
+	})
+	stranded := m.StrandedByClass()
+	if got := stranded[power.ClassRPP]; got != power.KW(130) {
+		t.Errorf("stranded RPP = %v, want 130 kW", got)
+	}
+}
+
+func TestTopConsumers(t *testing.T) {
+	m := New(Config{})
+	m.Observe(0, []Observation{
+		{Device: "a", Class: power.ClassRPP, Power: power.KW(100), Limit: power.KW(190)},
+		{Device: "b", Class: power.ClassRPP, Power: power.KW(185), Limit: power.KW(190)},
+		{Device: "c", Class: power.ClassRPP, Power: power.KW(150), Limit: power.KW(190)},
+	})
+	top := m.TopConsumers(power.ClassRPP, 2)
+	if len(top) != 2 || top[0].Device != "b" || top[1].Device != "c" {
+		t.Errorf("top = %+v", top)
+	}
+	if got := m.TopConsumers(power.ClassMSB, 5); len(got) != 0 {
+		t.Errorf("no MSBs observed, got %v", got)
+	}
+}
+
+func TestCapacityUtilization(t *testing.T) {
+	m := New(Config{})
+	m.Observe(0, []Observation{
+		{Device: "a", Class: power.ClassRPP, Power: power.KW(95), Limit: power.KW(190)},
+		{Device: "b", Class: power.ClassRPP, Power: power.KW(95), Limit: power.KW(190)},
+	})
+	if got := m.CapacityUtilization(power.ClassRPP); got != 0.5 {
+		t.Errorf("utilization = %v", got)
+	}
+	if got := m.CapacityUtilization(power.ClassMSB); got != 0 {
+		t.Errorf("unobserved class = %v", got)
+	}
+}
+
+func TestHotAlarm(t *testing.T) {
+	m := New(Config{HotFrac: 0.9, HotFor: 10 * time.Second})
+	obsAt := func(ts time.Duration, kw float64) {
+		m.Observe(ts, []Observation{
+			{Device: "rpp1", Class: power.ClassRPP, Power: power.KW(kw), Limit: power.KW(100)},
+		})
+	}
+	// Hot but not long enough: no alarm.
+	obsAt(sec(0), 95)
+	obsAt(sec(3), 96)
+	obsAt(sec(6), 50) // cools
+	if len(m.Alarms()) != 0 {
+		t.Fatal("premature alarm")
+	}
+	// Hot for the full window: one alarm, not repeated.
+	for i := 3; i <= 10; i++ {
+		obsAt(sec(i*3), 95)
+	}
+	alarms := m.Alarms()
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(alarms))
+	}
+	a := alarms[0]
+	if a.Device != "rpp1" || a.Power != power.KW(95) {
+		t.Errorf("alarm = %+v", a)
+	}
+	if !strings.Contains(a.String(), "rpp1") {
+		t.Error("alarm string")
+	}
+	// Cool down and reheat: a second alarm may fire.
+	obsAt(sec(60), 10)
+	for i := 21; i <= 28; i++ {
+		obsAt(sec(i*3), 99)
+	}
+	if len(m.Alarms()) != 2 {
+		t.Errorf("alarms after reheat = %d, want 2", len(m.Alarms()))
+	}
+}
+
+func TestHistoryCap(t *testing.T) {
+	m := New(Config{HistoryCap: 5})
+	for i := 0; i < 20; i++ {
+		m.Observe(sec(i), []Observation{
+			{Device: "x", Class: power.ClassRack, Power: 100, Limit: 200},
+		})
+	}
+	if got := m.DeviceHistory("x").Len(); got != 5 {
+		t.Errorf("history len = %d, want capped at 5", got)
+	}
+}

@@ -1,0 +1,107 @@
+// Package power models the electrical side of the data center: power
+// quantities, device classes in the delivery hierarchy, circuit-breaker
+// inverse-time trip curves (paper Fig 3), and a thermal breaker that
+// integrates overdraw over time — the physical mechanism behind "breakers
+// sustain low overdraw for long periods but trip quickly under large
+// spikes" (paper §II-A).
+package power
+
+import "fmt"
+
+// Watts is a power quantity. Dynamo works in watts throughout; kilowatt and
+// megawatt helpers exist for readability at higher hierarchy levels.
+type Watts float64
+
+// KW constructs a Watts value from kilowatts.
+func KW(kw float64) Watts { return Watts(kw * 1e3) }
+
+// MW constructs a Watts value from megawatts.
+func MW(mw float64) Watts { return Watts(mw * 1e6) }
+
+// KW returns the value in kilowatts.
+func (w Watts) KW() float64 { return float64(w) / 1e3 }
+
+// MW returns the value in megawatts.
+func (w Watts) MW() float64 { return float64(w) / 1e6 }
+
+// String formats with an adaptive unit.
+func (w Watts) String() string {
+	switch {
+	case w >= 1e6 || w <= -1e6:
+		return fmt.Sprintf("%.3f MW", w.MW())
+	case w >= 1e3 || w <= -1e3:
+		return fmt.Sprintf("%.2f kW", w.KW())
+	default:
+		return fmt.Sprintf("%.1f W", float64(w))
+	}
+}
+
+// Clamp limits w to [lo, hi].
+func (w Watts) Clamp(lo, hi Watts) Watts {
+	if w < lo {
+		return lo
+	}
+	if w > hi {
+		return hi
+	}
+	return w
+}
+
+// DeviceClass identifies a level of the power delivery hierarchy
+// (paper Fig 2). The numeric order matches the hierarchy from the utility
+// down to the rack.
+type DeviceClass int
+
+const (
+	// ClassMSB is a Main Switch Board (2.5 MW IT rating).
+	ClassMSB DeviceClass = iota
+	// ClassSB is a Switch Board (1.25 MW).
+	ClassSB
+	// ClassRPP is a Reactive Power Panel (190 kW) — or a PDU breaker in
+	// leased (non-OCP) data centers; Dynamo treats the two identically.
+	ClassRPP
+	// ClassRack is a rack power shelf (12.6 kW).
+	ClassRack
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassMSB:
+		return "MSB"
+	case ClassSB:
+		return "SB"
+	case ClassRPP:
+		return "RPP"
+	case ClassRack:
+		return "Rack"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a known device class.
+func (c DeviceClass) Valid() bool { return c >= ClassMSB && c < numClasses }
+
+// Classes lists all device classes from the top of the hierarchy down.
+func Classes() []DeviceClass {
+	return []DeviceClass{ClassMSB, ClassSB, ClassRPP, ClassRack}
+}
+
+// DefaultRating returns the OCP nameplate IT power rating for a device
+// class (paper §II-A / Fig 2).
+func (c DeviceClass) DefaultRating() Watts {
+	switch c {
+	case ClassMSB:
+		return MW(2.5)
+	case ClassSB:
+		return MW(1.25)
+	case ClassRPP:
+		return KW(190)
+	case ClassRack:
+		return KW(12.6)
+	default:
+		return 0
+	}
+}

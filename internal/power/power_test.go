@@ -1,0 +1,334 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWattsConversions(t *testing.T) {
+	if KW(1.5) != 1500 {
+		t.Errorf("KW(1.5) = %v", KW(1.5))
+	}
+	if MW(2.5) != 2.5e6 {
+		t.Errorf("MW(2.5) = %v", MW(2.5))
+	}
+	if got := Watts(190000).KW(); got != 190 {
+		t.Errorf("KW() = %v", got)
+	}
+	if got := MW(1.25).MW(); got != 1.25 {
+		t.Errorf("MW() = %v", got)
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	cases := []struct {
+		w    Watts
+		want string
+	}{
+		{Watts(250), "250.0 W"},
+		{KW(127.5), "127.50 kW"},
+		{MW(2.5), "2.500 MW"},
+	}
+	for _, c := range cases {
+		if got := c.w.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.w), got, c.want)
+		}
+	}
+}
+
+func TestWattsClamp(t *testing.T) {
+	if got := Watts(300).Clamp(100, 200); got != 200 {
+		t.Errorf("clamp high = %v", got)
+	}
+	if got := Watts(50).Clamp(100, 200); got != 100 {
+		t.Errorf("clamp low = %v", got)
+	}
+	if got := Watts(150).Clamp(100, 200); got != 150 {
+		t.Errorf("clamp mid = %v", got)
+	}
+}
+
+func TestDeviceClassStringsAndRatings(t *testing.T) {
+	want := map[DeviceClass]struct {
+		name   string
+		rating Watts
+	}{
+		ClassMSB:  {"MSB", MW(2.5)},
+		ClassSB:   {"SB", MW(1.25)},
+		ClassRPP:  {"RPP", KW(190)},
+		ClassRack: {"Rack", KW(12.6)},
+	}
+	for c, w := range want {
+		if c.String() != w.name {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), w.name)
+		}
+		if c.DefaultRating() != w.rating {
+			t.Errorf("%v.DefaultRating() = %v, want %v", c, c.DefaultRating(), w.rating)
+		}
+		if !c.Valid() {
+			t.Errorf("%v should be valid", c)
+		}
+	}
+	if DeviceClass(99).Valid() {
+		t.Error("DeviceClass(99) should be invalid")
+	}
+	if !strings.Contains(DeviceClass(99).String(), "99") {
+		t.Error("unknown class String should include value")
+	}
+	if len(Classes()) != 4 {
+		t.Errorf("Classes() = %v", Classes())
+	}
+}
+
+// TestTripCurveCalibration pins the Fig 3 calibration targets.
+func TestTripCurveCalibration(t *testing.T) {
+	cases := []struct {
+		class  DeviceClass
+		ratio  float64
+		want   time.Duration
+		within float64 // relative tolerance
+	}{
+		{ClassRPP, 1.10, 17 * time.Minute, 0.15},
+		{ClassRPP, 1.40, 60 * time.Second, 0.10},
+		{ClassRack, 1.40, 78 * time.Second, 0.10},
+		{ClassMSB, 1.05, 2 * time.Minute, 0.10},
+		{ClassMSB, 1.15, 60 * time.Second, 0.10},
+		{ClassSB, 1.15, 100 * time.Second, 0.10},
+	}
+	for _, c := range cases {
+		curve := DefaultTripCurve(c.class)
+		got, trips := curve.TripTime(c.ratio)
+		if !trips {
+			t.Fatalf("%v at %.2f should trip", c.class, c.ratio)
+		}
+		rel := math.Abs(got.Seconds()-c.want.Seconds()) / c.want.Seconds()
+		if rel > c.within {
+			t.Errorf("%v trip time at %.2fx = %v, want %v (±%.0f%%)",
+				c.class, c.ratio, got, c.want, c.within*100)
+		}
+	}
+}
+
+// TestTripCurveHierarchyOrdering verifies the paper's observation that
+// lower-level devices sustain relatively more overdraw than higher-level
+// devices (Fig 3): at the same overdraw ratio near the rating, trip time
+// increases as we descend the hierarchy.
+func TestTripCurveHierarchyOrdering(t *testing.T) {
+	ratio := 1.10
+	var prev time.Duration
+	for i, class := range Classes() {
+		tt, trips := DefaultTripCurve(class).TripTime(ratio)
+		if !trips {
+			t.Fatalf("%v should trip at %.2f", class, ratio)
+		}
+		if i > 0 && tt <= prev {
+			t.Errorf("%v trip time %v should exceed its parent's %v at ratio %.2f",
+				class, tt, prev, ratio)
+		}
+		prev = tt
+	}
+}
+
+func TestTripCurveNoTripAtOrBelowRating(t *testing.T) {
+	for _, class := range Classes() {
+		curve := DefaultTripCurve(class)
+		for _, r := range []float64{0, 0.5, 0.99, 1.0} {
+			if _, trips := curve.TripTime(r); trips {
+				t.Errorf("%v trips at ratio %.2f", class, r)
+			}
+			if rate := curve.HeatRate(r); rate != 0 {
+				t.Errorf("%v heat rate %.3f at ratio %.2f", class, rate, r)
+			}
+		}
+	}
+}
+
+// Property: trip time is strictly decreasing in the overdraw ratio.
+func TestTripCurveMonotonicProperty(t *testing.T) {
+	curve := DefaultTripCurve(ClassRPP)
+	f := func(a, b uint8) bool {
+		// Map to ratios in (1, 3].
+		ra := 1 + (float64(a)+1)/128
+		rb := 1 + (float64(b)+1)/128
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		if ra == rb {
+			return true
+		}
+		ta, _ := curve.TripTime(ra)
+		tb, _ := curve.TripTime(rb)
+		return ta > tb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakerConstantOverdrawMatchesCurve(t *testing.T) {
+	b := NewBreaker("rpp-1", ClassRPP, KW(190))
+	want, _ := b.Curve().TripTime(1.2)
+	draw := Watts(1.2 * 190e3)
+	step := 3 * time.Second
+	var now time.Duration
+	b.Observe(draw, now)
+	for !b.Tripped() && now < 2*time.Hour {
+		now += step
+		b.Observe(draw, now)
+	}
+	if !b.Tripped() {
+		t.Fatal("breaker never tripped under 20% overdraw")
+	}
+	got := b.TrippedAt()
+	if diff := (got - want).Abs(); diff > 2*step {
+		t.Errorf("tripped at %v, curve predicts %v", got, want)
+	}
+}
+
+func TestBreakerNoTripUnderRating(t *testing.T) {
+	b := NewBreaker("msb-1", ClassMSB, MW(2.5))
+	var now time.Duration
+	for i := 0; i < 10000; i++ {
+		now += 3 * time.Second
+		if b.Observe(MW(2.49), now) {
+			t.Fatal("breaker tripped under rating")
+		}
+	}
+	if b.Heat() != 0 {
+		t.Errorf("heat = %v under rating", b.Heat())
+	}
+}
+
+func TestBreakerCoolsDown(t *testing.T) {
+	b := NewBreaker("sb-1", ClassSB, MW(1.25))
+	var now time.Duration
+	b.Observe(MW(1.4), now)
+	for i := 0; i < 10; i++ {
+		now += 3 * time.Second
+		b.Observe(MW(1.4), now)
+	}
+	hot := b.Heat()
+	if hot <= 0 {
+		t.Fatal("expected heat accumulation")
+	}
+	// Cool for 30 minutes.
+	for i := 0; i < 600; i++ {
+		now += 3 * time.Second
+		b.Observe(MW(1.0), now)
+	}
+	if b.Heat() >= hot/10 {
+		t.Errorf("heat %v did not decay from %v", b.Heat(), hot)
+	}
+}
+
+func TestBreakerSpikeThenRecoverDoesNotTrip(t *testing.T) {
+	// A short spike that would trip only if sustained must not trip.
+	b := NewBreaker("rpp-2", ClassRPP, KW(190))
+	var now time.Duration
+	b.Observe(KW(190*1.4), now)
+	for i := 0; i < 5; i++ { // 15 s at 1.4x; trip needs ~60 s
+		now += 3 * time.Second
+		if b.Observe(KW(190*1.4), now) {
+			t.Fatal("tripped too early")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		now += 3 * time.Second
+		if b.Observe(KW(150), now) {
+			t.Fatal("tripped during recovery")
+		}
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	b := NewBreaker("rack-1", ClassRack, KW(12.6))
+	var now time.Duration
+	b.Observe(KW(30), now)
+	for !b.Tripped() {
+		now += time.Second
+		b.Observe(KW(30), now)
+	}
+	b.Reset()
+	if b.Tripped() || b.Heat() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	// Post-reset it should operate normally.
+	now += time.Second
+	if b.Observe(KW(10), now) {
+		t.Fatal("tripped under rating after reset")
+	}
+}
+
+func TestBreakerObserveAfterTripIsNoop(t *testing.T) {
+	b := NewBreaker("rack-2", ClassRack, KW(12.6))
+	var now time.Duration
+	b.Observe(KW(40), now)
+	for !b.Tripped() {
+		now += time.Second
+		b.Observe(KW(40), now)
+	}
+	at := b.TrippedAt()
+	now += time.Hour
+	if b.Observe(KW(40), now) {
+		t.Fatal("tripped breaker reported a second trip")
+	}
+	if b.TrippedAt() != at {
+		t.Fatal("TrippedAt changed after trip")
+	}
+}
+
+func TestBreakerNonMonotonicTimePanics(t *testing.T) {
+	b := NewBreaker("x", ClassRack, KW(12.6))
+	b.Observe(KW(5), 10*time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-monotonic time")
+		}
+	}()
+	b.Observe(KW(5), 5*time.Second)
+}
+
+func TestBreakerTimeToTrip(t *testing.T) {
+	b := NewBreaker("rpp-3", ClassRPP, KW(190))
+	if _, trips := b.TimeToTrip(KW(180)); trips {
+		t.Fatal("under-rating draw should never trip")
+	}
+	tt, trips := b.TimeToTrip(KW(190 * 1.4))
+	if !trips {
+		t.Fatal("overdraw should trip")
+	}
+	want, _ := b.Curve().TripTime(1.4)
+	if diff := (tt - want).Abs(); diff > time.Second {
+		t.Errorf("TimeToTrip = %v, curve = %v", tt, want)
+	}
+	// With accumulated heat, remaining time shrinks.
+	b.Observe(KW(190*1.4), 0)
+	b.Observe(KW(190*1.4), 30*time.Second)
+	tt2, _ := b.TimeToTrip(KW(190 * 1.4))
+	if tt2 >= tt {
+		t.Errorf("TimeToTrip with heat %v should be < cold %v", tt2, tt)
+	}
+}
+
+// Property: a breaker never trips when every observation is at or below
+// its rating, for arbitrary observation sequences.
+func TestBreakerSafeUnderRatingProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		b := NewBreaker("p", ClassRPP, KW(190))
+		var now time.Duration
+		for _, s := range steps {
+			now += time.Duration(1+s%60) * time.Second
+			draw := KW(190 * float64(s%1000) / 1000) // ≤ rating
+			if b.Observe(draw, now) {
+				return false
+			}
+		}
+		return !b.Tripped()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package rpc
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// Network is the in-process transport: a registry of endpoints reachable
+// by address, with simulated one-way latency and fault injection. All
+// delivery is scheduled on a simclock.Loop, so behaviour is deterministic.
+//
+// Network is safe for use from the loop goroutine; Register/Unregister and
+// fault-injection setters may also be called before the loop starts.
+type Network struct {
+	loop    simclock.Loop
+	latency time.Duration
+	rng     *rand.Rand
+
+	mu          sync.Mutex
+	endpoints   map[string]Handler
+	partitioned map[string]bool
+	dropRate    map[string]float64
+}
+
+// NewNetwork creates an in-process network with the given one-way latency
+// (zero is allowed and common for consolidated controllers that share a
+// process, paper §III-A).
+func NewNetwork(loop simclock.Loop, latency time.Duration, seed int64) *Network {
+	return &Network{
+		loop:        loop,
+		latency:     latency,
+		rng:         rand.New(rand.NewSource(seed)),
+		endpoints:   make(map[string]Handler),
+		partitioned: make(map[string]bool),
+		dropRate:    make(map[string]float64),
+	}
+}
+
+// Register installs a handler at addr, replacing any previous handler.
+func (n *Network) Register(addr string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[addr] = h
+}
+
+// Unregister removes the endpoint; subsequent calls get ErrUnreachable.
+func (n *Network) Unregister(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+// SetPartitioned isolates (or heals) an endpoint: calls to a partitioned
+// address time out rather than failing fast, like a real network hang.
+func (n *Network) SetPartitioned(addr string, yes bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if yes {
+		n.partitioned[addr] = true
+	} else {
+		delete(n.partitioned, addr)
+	}
+}
+
+// SetDropRate makes a fraction of calls to addr hang (and eventually time
+// out on the caller side).
+func (n *Network) SetDropRate(addr string, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate <= 0 {
+		delete(n.dropRate, addr)
+	} else {
+		n.dropRate[addr] = rate
+	}
+}
+
+// lookup returns the handler and whether the message should be delivered.
+func (n *Network) lookup(addr string) (h Handler, exists, deliver bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, exists = n.endpoints[addr]
+	if !exists {
+		return nil, false, false
+	}
+	if n.partitioned[addr] {
+		return h, true, false
+	}
+	if r := n.dropRate[addr]; r > 0 && n.rng.Float64() < r {
+		return h, true, false
+	}
+	return h, true, true
+}
+
+// Dial returns a client for addr. Dialling an unknown address succeeds;
+// calls will fail with ErrUnreachable, matching lazy TCP connection
+// establishment.
+func (n *Network) Dial(addr string) Client {
+	return &inprocClient{net: n, addr: addr}
+}
+
+type inprocClient struct {
+	net    *Network
+	addr   string
+	closed bool
+}
+
+// Call implements Client.
+func (c *inprocClient) Call(method string, req wire.Message, timeout time.Duration, done func([]byte, error)) {
+	n := c.net
+	if c.closed {
+		n.loop.After(0, func() { done(nil, ErrClosed) })
+		return
+	}
+	var once sync.Once
+	var deadline *simclock.Timer
+	finish := func(resp []byte, err error) {
+		once.Do(func() {
+			if deadline != nil {
+				deadline.Stop()
+			}
+			done(resp, err)
+		})
+	}
+	if timeout > 0 {
+		deadline = n.loop.After(timeout, func() { finish(nil, ErrTimeout) })
+	}
+
+	body := wire.Marshal(req)
+	n.loop.After(n.latency, func() {
+		h, exists, deliver := n.lookup(c.addr)
+		if !exists {
+			finish(nil, ErrUnreachable)
+			return
+		}
+		if !deliver {
+			// Partitioned or dropped: the request vanishes; only the
+			// caller's timeout (if any) will complete the call.
+			if timeout <= 0 {
+				finish(nil, ErrUnreachable)
+			}
+			return
+		}
+		resp, err := h(method, body)
+		n.loop.After(n.latency, func() {
+			if err != nil {
+				finish(nil, &RemoteError{Method: method, Msg: err.Error()})
+				return
+			}
+			finish(wire.Marshal(resp), nil)
+		})
+	})
+}
+
+// Close implements Client.
+func (c *inprocClient) Close() error {
+	c.closed = true
+	return nil
+}

@@ -1,0 +1,102 @@
+// Package rpc is Dynamo's communication layer — the stand-in for Thrift
+// (paper §III-A). It provides an asynchronous request/response client
+// abstraction with two transports:
+//
+//   - InProc: a deterministic in-memory transport routed through a
+//     simclock.Loop, with configurable latency, partitions, and drop
+//     rates. All simulation experiments use it, so runs are reproducible.
+//   - TCP: a framed binary protocol over real sockets, used by the
+//     dynamo-agentd / dynamo-controllerd daemons and integration tests.
+//
+// Both transports deliver completion callbacks on the caller's event loop,
+// so controller logic is single-threaded regardless of transport.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// ErrTimeout is delivered when a call's deadline elapses.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// ErrUnreachable is delivered when the destination does not exist or is
+// partitioned away.
+var ErrUnreachable = errors.New("rpc: destination unreachable")
+
+// ErrClosed is delivered for calls on a closed client.
+var ErrClosed = errors.New("rpc: client closed")
+
+// RemoteError wraps an application-level error returned by the remote
+// handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error from %s: %s", e.Method, e.Msg)
+}
+
+// Handler serves requests at an endpoint. It decodes the body itself
+// (methods are strings like "Agent.ReadPower") and returns the response
+// message, or an error that travels back to the caller as a RemoteError.
+type Handler func(method string, body []byte) (wire.Message, error)
+
+// Client issues asynchronous calls to a single endpoint.
+type Client interface {
+	// Call sends req to the remote method. Exactly one of the done
+	// outcomes is delivered, on the client's event loop: (respBody, nil)
+	// on success or (nil, err) on failure/timeout. timeout <= 0 means no
+	// deadline.
+	Call(method string, req wire.Message, timeout time.Duration, done func(resp []byte, err error))
+	// Close releases the client; in-flight calls fail with ErrClosed.
+	Close() error
+}
+
+// Decode is a convenience for completion callbacks: it unmarshals resp
+// into m unless err is already set.
+func Decode(resp []byte, err error, m wire.Message) error {
+	if err != nil {
+		return err
+	}
+	return wire.Unmarshal(resp, m)
+}
+
+// LoopHandler wraps a loop-confined handler (controllers and agents are
+// single-threaded on their event loop) so it can be served by transports
+// that dispatch from other goroutines (TCPServer). Each request is
+// marshalled onto the loop and the caller's goroutine waits for the
+// result.
+func LoopHandler(loop simclock.Loop, h Handler) Handler {
+	type result struct {
+		m   wire.Message
+		err error
+	}
+	return func(method string, body []byte) (wire.Message, error) {
+		ch := make(chan result, 1)
+		loop.Post(func() {
+			m, err := h(method, body)
+			ch <- result{m, err}
+		})
+		r := <-ch
+		return r.m, r.err
+	}
+}
+
+// empty is a zero-field message usable for requests with no arguments.
+type empty struct{}
+
+// MarshalWire implements wire.Message.
+func (empty) MarshalWire(*wire.Encoder) {}
+
+// UnmarshalWire implements wire.Message.
+func (empty) UnmarshalWire(*wire.Decoder) error { return nil }
+
+// Empty is a reusable zero-payload message.
+var Empty wire.Message = empty{}

@@ -1,0 +1,315 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// maxFrame bounds a single RPC frame.
+const maxFrame = 16 << 20
+
+const (
+	kindRequest  = 0
+	kindResponse = 1
+)
+
+// envelope is the on-wire header+body for both directions.
+type envelope struct {
+	Kind   byte
+	ID     uint64
+	Method string // requests
+	ErrMsg string // responses; empty means success
+	IsErr  bool
+	Body   []byte
+}
+
+// MarshalWire implements wire.Message.
+func (v *envelope) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(uint64(v.Kind))
+	e.Uvarint(v.ID)
+	e.String(v.Method)
+	e.Bool(v.IsErr)
+	e.String(v.ErrMsg)
+	e.Bytes2(v.Body)
+}
+
+// UnmarshalWire implements wire.Message.
+func (v *envelope) UnmarshalWire(d *wire.Decoder) error {
+	v.Kind = byte(d.Uvarint())
+	v.ID = d.Uvarint()
+	v.Method = d.String()
+	v.IsErr = d.Bool()
+	v.ErrMsg = d.String()
+	v.Body = d.Bytes2()
+	return d.Err()
+}
+
+func writeFrame(w io.Writer, mu *sync.Mutex, env *envelope) error {
+	payload := wire.Marshal(env)
+	hdr := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+func readFrame(r io.Reader) (*envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := wire.Unmarshal(payload, &env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// TCPServer serves a Handler over framed TCP connections.
+type TCPServer struct {
+	handler Handler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer creates a server for the handler.
+func NewTCPServer(h Handler) *TCPServer {
+	return &TCPServer{handler: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts listening on addr ("host:port"; ":0" picks a free port)
+// and serves in background goroutines. It returns the bound address.
+func (s *TCPServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *TCPServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if env.Kind != kindRequest {
+			continue
+		}
+		req := env
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			resp := &envelope{Kind: kindResponse, ID: req.ID}
+			m, err := s.handler(req.Method, req.Body)
+			if err != nil {
+				resp.IsErr = true
+				resp.ErrMsg = err.Error()
+			} else if m != nil {
+				resp.Body = wire.Marshal(m)
+			}
+			// Best effort: a write error means the conn is going away.
+			_ = writeFrame(conn, &writeMu, resp)
+		}()
+	}
+}
+
+// Close stops the listener and all connections, waiting for handlers.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// TCPClient is a Client over a single TCP connection. Completion callbacks
+// are posted to the provided loop.
+type TCPClient struct {
+	loop simclock.Loop
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	nextID  uint64
+	closed  bool
+}
+
+type pendingCall struct {
+	once  sync.Once
+	done  func([]byte, error)
+	timer *time.Timer
+}
+
+// DialTCP connects to a TCP endpoint.
+func DialTCP(addr string, loop simclock.Loop) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPClient{loop: loop, conn: conn, pending: make(map[uint64]*pendingCall)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *TCPClient) readLoop() {
+	for {
+		env, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(ErrClosed)
+			return
+		}
+		if env.Kind != kindResponse {
+			continue
+		}
+		c.mu.Lock()
+		pc := c.pending[env.ID]
+		delete(c.pending, env.ID)
+		c.mu.Unlock()
+		if pc == nil {
+			continue // late response after timeout
+		}
+		if pc.timer != nil {
+			pc.timer.Stop()
+		}
+		if env.IsErr {
+			pc.complete(c.loop, nil, &RemoteError{Msg: env.ErrMsg})
+		} else {
+			pc.complete(c.loop, env.Body, nil)
+		}
+	}
+}
+
+func (pc *pendingCall) complete(loop simclock.Loop, body []byte, err error) {
+	pc.once.Do(func() {
+		loop.Post(func() { pc.done(body, err) })
+	})
+}
+
+func (c *TCPClient) failAll(err error) {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make(map[uint64]*pendingCall)
+	c.mu.Unlock()
+	for _, pc := range pending {
+		if pc.timer != nil {
+			pc.timer.Stop()
+		}
+		pc.complete(c.loop, nil, err)
+	}
+}
+
+// Call implements Client.
+func (c *TCPClient) Call(method string, req wire.Message, timeout time.Duration, done func([]byte, error)) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.loop.Post(func() { done(nil, ErrClosed) })
+		return
+	}
+	c.nextID++
+	id := c.nextID
+	pc := &pendingCall{done: done}
+	c.pending[id] = pc
+	c.mu.Unlock()
+
+	if timeout > 0 {
+		pc.timer = time.AfterFunc(timeout, func() {
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			pc.complete(c.loop, nil, ErrTimeout)
+		})
+	}
+
+	env := &envelope{Kind: kindRequest, ID: id, Method: method, Body: wire.Marshal(req)}
+	if err := writeFrame(c.conn, &c.writeMu, env); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if pc.timer != nil {
+			pc.timer.Stop()
+		}
+		pc.complete(c.loop, nil, err)
+	}
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.failAll(ErrClosed)
+	return err
+}

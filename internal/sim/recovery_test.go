@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dynamo/internal/power"
+	"dynamo/internal/topology"
+)
+
+// TestOutageRestoreCycle trips a row, restores it, and verifies the DCUPS
+// recharge draw appears and decays.
+func TestOutageRestoreCycle(t *testing.T) {
+	spec := tinySpec()
+	spec.RPPRating = power.KW(2.4)
+	s, err := New(Config{Spec: spec, Seed: 31, EnableDynamo: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"web", "cache", "hadoop", "database", "newsfeed"} {
+		s.SetServiceLoadFactor(svc, 1.6)
+	}
+	s.Run(30 * time.Minute)
+	tripped := s.TrippedDevices()
+	if len(tripped) == 0 {
+		t.Fatal("expected a trip")
+	}
+	dev := tripped[0]
+
+	// Back off the overload, then restore.
+	for _, svc := range []string{"web", "cache", "hadoop", "database", "newsfeed"} {
+		s.SetServiceLoadFactor(svc, 0.6)
+	}
+	s.RestoreDevice(dev)
+	if s.Breakers[dev].Tripped() {
+		t.Fatal("breaker not reset")
+	}
+	for _, srv := range s.Topo.ServersUnder(dev) {
+		if s.Servers[string(srv.ID)].Crashed() {
+			t.Fatal("server not restored")
+		}
+	}
+
+	// Immediately after restore, DCUPS recharge inflates device power.
+	s.Run(10 * time.Second)
+	withRecharge := s.DevicePower(dev)
+	s.Run(90 * time.Minute) // > 5 time constants
+	after := s.DevicePower(dev)
+	// Base load fluctuates; the recharge adds 800 W per rack, which must
+	// be visible against the fluctuation and fully gone later.
+	racks := 0
+	s.Topo.Lookup(dev).Walk(func(n *topology.Node) {
+		if n.Kind == topology.KindRack {
+			racks++
+		}
+	})
+	if float64(withRecharge-after) < float64(racks)*400 {
+		t.Errorf("recharge draw not visible: during=%v after=%v (racks=%d)",
+			withRecharge, after, racks)
+	}
+	if len(s.recharges) != 0 {
+		t.Errorf("recharges not cleaned up: %d", len(s.recharges))
+	}
+}
+
+func TestRestoreUnknownDeviceIsNoop(t *testing.T) {
+	s, _ := New(Config{Spec: tinySpec(), Seed: 32})
+	s.RestoreDevice("bogus") // must not panic
+	s.Run(time.Second)
+}

@@ -1,0 +1,631 @@
+// Package sim assembles the full simulated data center: an OCP power
+// topology populated with simulated servers running the paper's service
+// workloads, a Dynamo agent per server, thermal breaker models on every
+// power device, and (optionally) the Dynamo controller hierarchy. All of
+// it runs on one deterministic event loop, so a 24-hour production day
+// (Fig 14) or a multi-day power-variation study (Fig 5) replays in
+// milliseconds and is exactly reproducible from a seed.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dynamo/internal/agent"
+	"dynamo/internal/core"
+	"dynamo/internal/metrics"
+	"dynamo/internal/monitor"
+	"dynamo/internal/platform"
+	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/server"
+	"dynamo/internal/simclock"
+	"dynamo/internal/topology"
+	"dynamo/internal/workload"
+)
+
+// Config describes a simulation.
+type Config struct {
+	// Spec is the data center to build.
+	Spec topology.Spec
+	// Seed drives all randomness (workloads, sensor noise, network).
+	Seed int64
+	// TickInterval is the physics step (server load/RAPL/power update and
+	// breaker observation). Default 1 s; Fig 9 style experiments use less.
+	TickInterval time.Duration
+	// NetLatency is the one-way in-proc RPC latency. Default 2 ms.
+	NetLatency time.Duration
+	// EnableDynamo builds and starts the controller hierarchy; when false
+	// the fleet runs open-loop (the "without Dynamo" baseline).
+	EnableDynamo bool
+	// Hierarchy customizes the controller hierarchy when enabled.
+	Hierarchy core.HierarchyConfig
+	// SwitchDraw is the constant per-rack top-of-rack switch draw.
+	SwitchDraw power.Watts
+	// SensorlessGenerations lists hardware generations without power
+	// sensors; their agents use calibrated estimation models (§III-B).
+	SensorlessGenerations []string
+	// LoadScale multiplies offered load per service (hadoop/search use
+	// >1 so saturated waves leave Turbo-absorbable backlog).
+	LoadScale map[string]float64
+	// Turbo enables Turbo Boost per service from the start.
+	Turbo map[string]bool
+	// GovMaxFreq administratively locks frequency per service (the
+	// legacy search cluster lock).
+	GovMaxFreq map[string]float64
+	// BreakersTripServers controls whether a tripped breaker takes its
+	// subtree offline (crashing servers). Default true.
+	DisableTripOutage bool
+	// ValidatorInterval is how often breaker "meter" readings refresh for
+	// leaf-controller cross-checks. Zero disables validators (the meter
+	// readings are minutes-coarse in production, paper §III-C1).
+	ValidatorInterval time.Duration
+	// HardwareSpread is the relative sigma of per-server power-model
+	// jitter (manufacturing/efficiency variation). Default 0.03; set
+	// negative to disable.
+	HardwareSpread float64
+	// CappableSwitches turns top-of-rack switches into controllable
+	// endpoints with their own agents (the paper's §III-E extension for
+	// network hardware that supports capping). When false (the deployed
+	// configuration), switches are monitored as a constant draw only.
+	CappableSwitches bool
+}
+
+// recharge is one rack's decaying DCUPS recharge draw.
+type recharge struct {
+	start   time.Duration
+	initial power.Watts
+	tau     time.Duration
+}
+
+// TripEvent records a breaker trip.
+type TripEvent struct {
+	Device topology.NodeID
+	Class  power.DeviceClass
+	At     time.Duration
+	Draw   power.Watts
+}
+
+// Sim is a running simulated data center.
+type Sim struct {
+	Cfg  Config
+	Loop *simclock.SimLoop
+	Net  *rpc.Network
+	Topo *topology.Topology
+
+	Servers map[string]*server.Server
+	Agents  map[string]*agent.Agent
+	Shared  map[string]*workload.Shared
+	Gens    map[string]*workload.Generator
+
+	Hierarchy *core.Hierarchy
+	Breakers  map[topology.NodeID]*power.Breaker
+
+	serverOrder []string
+	deviceOrder []topology.NodeID
+
+	recorded    map[topology.NodeID]*metrics.Series
+	recordEvery time.Duration
+	lastRecord  time.Duration
+
+	recordedServers map[string]*metrics.Series
+
+	meter     map[topology.NodeID]power.Watts
+	lastMeter time.Duration
+
+	// recharges tracks per-rack DCUPS battery recharge draw after an
+	// outage restore (paper Fig 2: one DCUPS per six racks provides 90 s
+	// of backup; refilling it adds load during recovery — part of why
+	// recovery surges are dangerous).
+	recharges map[topology.NodeID]recharge
+
+	Alerts []core.Alert
+	Trips  []TripEvent
+
+	ticker *simclock.Ticker
+}
+
+// New builds a simulation. Servers are assigned per-service shared
+// workload state and per-server generators, agents are registered on the
+// in-proc network, and breakers are armed on every device.
+func New(cfg Config) (*Sim, error) {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = time.Second
+	}
+	if cfg.NetLatency < 0 {
+		return nil, fmt.Errorf("sim: negative net latency")
+	}
+	if cfg.NetLatency == 0 {
+		cfg.NetLatency = 2 * time.Millisecond
+	}
+	if cfg.SwitchDraw == 0 {
+		cfg.SwitchDraw = 150
+	}
+	topo, err := cfg.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	loop := simclock.NewSimLoop()
+	s := &Sim{
+		Cfg:             cfg,
+		Loop:            loop,
+		Net:             rpc.NewNetwork(loop, cfg.NetLatency, cfg.Seed^0x5eed),
+		Topo:            topo,
+		Servers:         map[string]*server.Server{},
+		Agents:          map[string]*agent.Agent{},
+		Shared:          map[string]*workload.Shared{},
+		Gens:            map[string]*workload.Generator{},
+		Breakers:        map[topology.NodeID]*power.Breaker{},
+		recorded:        map[topology.NodeID]*metrics.Series{},
+		recordedServers: map[string]*metrics.Series{},
+		meter:           map[topology.NodeID]power.Watts{},
+		recharges:       map[topology.NodeID]recharge{},
+	}
+
+	sensorless := map[string]bool{}
+	for _, g := range cfg.SensorlessGenerations {
+		sensorless[g] = true
+	}
+	estModels := map[string]*platform.EstimationModel{}
+
+	seed := cfg.Seed
+	next := func() int64 { seed++; return seed }
+
+	spread := cfg.HardwareSpread
+	if spread == 0 {
+		spread = 0.03
+	}
+	if spread < 0 {
+		spread = 0
+	}
+	hwRng := rand.New(rand.NewSource(cfg.Seed ^ 0x4a11))
+
+	for _, srvNode := range topo.Servers() {
+		svc := srvNode.Service
+		sh, ok := s.Shared[svc]
+		if !ok {
+			prof, err := workload.Lookup(svc)
+			if err != nil {
+				return nil, err
+			}
+			sh = workload.NewShared(prof, next())
+			s.Shared[svc] = sh
+		}
+		gen := workload.NewGenerator(sh, next())
+		s.Gens[string(srvNode.ID)] = gen
+
+		model, err := server.LookupModel(srvNode.Generation)
+		if err != nil {
+			return nil, err
+		}
+		if spread > 0 {
+			// No two machines draw identically: jitter idle and peak a
+			// few percent per server (deterministic per seed).
+			model.Idle *= power.Watts(1 + spread*hwRng.NormFloat64()*0.6)
+			model.Peak *= power.Watts(1 + spread*hwRng.NormFloat64())
+			if model.Peak < model.Idle+50 {
+				model.Peak = model.Idle + 50
+			}
+		}
+		scale := 1.0
+		if v, ok := cfg.LoadScale[svc]; ok {
+			scale = v
+		}
+		sv := server.New(server.Config{
+			ID: string(srvNode.ID), Service: svc,
+			Model:      model,
+			Source:     server.LoadFunc(gen.Step),
+			LoadScale:  scale,
+			Turbo:      cfg.Turbo[svc],
+			GovMaxFreq: cfg.GovMaxFreq[svc],
+		})
+		sv.Tick(0)
+		s.Servers[string(srvNode.ID)] = sv
+		s.serverOrder = append(s.serverOrder, string(srvNode.ID))
+
+		var plat platform.Platform
+		if sensorless[srvNode.Generation] {
+			em, ok := estModels[srvNode.Generation]
+			if !ok {
+				em = platform.Calibrate(model, 21, 1.0, next())
+				estModels[srvNode.Generation] = em
+			}
+			plat, err = platform.NewEstimated(sv, em, platform.Options{Seed: next()})
+			if err != nil {
+				return nil, err
+			}
+		} else if srvNode.Generation == "westmere2011" {
+			plat = platform.NewIPMI(sv, platform.Options{Seed: next()})
+		} else {
+			plat = platform.NewMSR(sv, platform.Options{Seed: next()})
+		}
+		ag := agent.New(string(srvNode.ID), svc, srvNode.Generation, plat)
+		s.Agents[string(srvNode.ID)] = ag
+		s.Net.Register(core.AgentAddr(string(srvNode.ID)), ag.Handler())
+	}
+
+	if cfg.CappableSwitches {
+		prof, err := workload.Lookup("network")
+		if err != nil {
+			return nil, err
+		}
+		shared := workload.NewShared(prof, next())
+		s.Shared["network"] = shared
+		model := server.MustModel("torswitch")
+		for _, sw := range topo.OfKind(topology.KindSwitch) {
+			gen := workload.NewGenerator(shared, next())
+			s.Gens[string(sw.ID)] = gen
+			sv := server.New(server.Config{
+				ID: string(sw.ID), Service: "network",
+				Model:  model,
+				Source: server.LoadFunc(gen.Step),
+			})
+			sv.Tick(0)
+			s.Servers[string(sw.ID)] = sv
+			s.serverOrder = append(s.serverOrder, string(sw.ID))
+			plat := platform.NewIPMI(sv, platform.Options{Seed: next()})
+			ag := agent.New(string(sw.ID), "network", "torswitch", plat)
+			s.Agents[string(sw.ID)] = ag
+			s.Net.Register(core.AgentAddr(string(sw.ID)), ag.Handler())
+		}
+	}
+
+	for _, dev := range topo.Devices() {
+		class, _ := dev.Kind.DeviceClass()
+		s.Breakers[dev.ID] = power.NewBreaker(string(dev.ID), class, dev.Rating)
+		s.deviceOrder = append(s.deviceOrder, dev.ID)
+	}
+
+	if cfg.EnableDynamo {
+		hcfg := cfg.Hierarchy
+		if hcfg.NonServerDrawPerRack == 0 {
+			hcfg.NonServerDrawPerRack = cfg.SwitchDraw
+		}
+		if cfg.CappableSwitches {
+			hcfg.IncludeSwitches = true
+		}
+		userAlerts := hcfg.Alerts
+		hcfg.Alerts = func(a core.Alert) {
+			s.Alerts = append(s.Alerts, a)
+			if userAlerts != nil {
+				userAlerts(a)
+			}
+		}
+		if cfg.ValidatorInterval > 0 {
+			hcfg.Validators = func(id topology.NodeID) func() (power.Watts, bool) {
+				return func() (power.Watts, bool) {
+					v, ok := s.meter[id]
+					return v, ok
+				}
+			}
+		}
+		h, err := core.BuildHierarchy(s.Loop, s.Net, topo, hcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Hierarchy = h
+	}
+
+	s.ticker = simclock.NewTicker(loop, cfg.TickInterval, s.tick)
+	return s, nil
+}
+
+// Start arms the physics ticker and (when enabled) the controllers.
+func (s *Sim) Start() {
+	s.ticker.Start()
+	if s.Hierarchy != nil {
+		s.Hierarchy.StartAll()
+	}
+}
+
+// Run starts (if needed) and advances the simulation by d.
+func (s *Sim) Run(d time.Duration) {
+	if !s.ticker.Active() {
+		s.Start()
+	}
+	s.Loop.RunFor(d)
+}
+
+// SetTickInterval changes the physics step; scenarios use a coarse step
+// to fast-forward through uneventful hours and a fine step around events.
+func (s *Sim) SetTickInterval(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.Cfg.TickInterval = d
+	s.ticker.SetPeriod(d)
+}
+
+// At schedules fn at an absolute simulation time (scenario events).
+func (s *Sim) At(t time.Duration, fn func()) {
+	d := t - s.Loop.Now()
+	s.Loop.After(d, fn)
+}
+
+// tick advances physics: server state, device power, breakers, recording.
+func (s *Sim) tick() {
+	now := s.Loop.Now()
+	for _, id := range s.serverOrder {
+		s.Servers[id].Tick(now)
+	}
+	for _, devID := range s.deviceOrder {
+		draw := s.DevicePower(devID)
+		br := s.Breakers[devID]
+		wasTripped := br.Tripped()
+		if br.Observe(draw, now) {
+			s.Trips = append(s.Trips, TripEvent{
+				Device: devID, Class: br.Class(), At: now, Draw: draw,
+			})
+			if !s.Cfg.DisableTripOutage && !wasTripped {
+				s.outage(devID)
+			}
+		}
+	}
+	if s.Cfg.ValidatorInterval > 0 {
+		if s.lastMeter == 0 || now-s.lastMeter >= s.Cfg.ValidatorInterval {
+			s.lastMeter = now
+			for _, devID := range s.deviceOrder {
+				s.meter[devID] = s.DevicePower(devID)
+			}
+		}
+	}
+	if s.recordEvery > 0 && (s.lastRecord == 0 || now-s.lastRecord >= s.recordEvery) {
+		s.lastRecord = now
+		for devID, series := range s.recorded {
+			series.Add(now, float64(s.DevicePower(devID)))
+		}
+		for srvID, series := range s.recordedServers {
+			series.Add(now, float64(s.Servers[srvID].Power()))
+		}
+	}
+}
+
+// outage crashes every server beneath a tripped device — the power outage
+// Dynamo exists to prevent.
+func (s *Sim) outage(devID topology.NodeID) {
+	node := s.Topo.Lookup(devID)
+	if node == nil {
+		return
+	}
+	for _, srv := range node.Servers() {
+		s.Servers[string(srv.ID)].Crash()
+	}
+}
+
+// DevicePower returns the instantaneous true power at a device: the sum
+// of all downstream servers plus top-of-rack switches.
+func (s *Sim) DevicePower(devID topology.NodeID) power.Watts {
+	node := s.Topo.Lookup(devID)
+	if node == nil {
+		return 0
+	}
+	var sum power.Watts
+	now := s.Loop.Now()
+	node.Walk(func(n *topology.Node) {
+		switch n.Kind {
+		case topology.KindServer:
+			sum += s.Servers[string(n.ID)].Power()
+		case topology.KindSwitch:
+			if sv, ok := s.Servers[string(n.ID)]; ok {
+				sum += sv.Power() // cappable switch: measured draw
+			} else {
+				sum += s.Cfg.SwitchDraw
+			}
+		case topology.KindRack:
+			sum += s.rechargeAt(n.ID, now)
+		}
+	})
+	return sum
+}
+
+// rechargeAt returns a rack's current DCUPS recharge draw.
+func (s *Sim) rechargeAt(rackID topology.NodeID, now time.Duration) power.Watts {
+	r, ok := s.recharges[rackID]
+	if !ok {
+		return 0
+	}
+	elapsed := now - r.start
+	if elapsed >= 5*r.tau {
+		delete(s.recharges, rackID)
+		return 0
+	}
+	return power.Watts(float64(r.initial) * math.Exp(-elapsed.Seconds()/r.tau.Seconds()))
+}
+
+// RestoreDevice recovers a tripped device: the breaker is reset, every
+// crashed server beneath it boots back up, and each rack's DCUPS begins
+// recharging the 90 s of battery it spent riding out the outage — a
+// decaying extra draw that makes recovery the most power-dangerous moment
+// (the Altoona case, Fig 12).
+func (s *Sim) RestoreDevice(devID topology.NodeID) {
+	node := s.Topo.Lookup(devID)
+	if node == nil {
+		return
+	}
+	now := s.Loop.Now()
+	node.Walk(func(n *topology.Node) {
+		switch n.Kind {
+		case topology.KindServer:
+			if sv := s.Servers[string(n.ID)]; sv.Crashed() {
+				sv.Restore()
+			}
+		case topology.KindRack:
+			s.recharges[n.ID] = recharge{
+				start:   now,
+				initial: 800, // ~1/6 of a 5 kW DCUPS recharge per rack
+				tau:     8 * time.Minute,
+			}
+		}
+	})
+	for _, dev := range s.Topo.Devices() {
+		if dev == node || isAncestorOf(node, dev) {
+			if br := s.Breakers[dev.ID]; br.Tripped() {
+				br.Reset()
+			}
+		}
+	}
+}
+
+// isAncestorOf reports whether candidate lies in root's subtree.
+func isAncestorOf(root, candidate *topology.Node) bool {
+	for p := candidate; p != nil; p = p.Parent {
+		if p == root {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalPower returns the whole data center's true draw.
+func (s *Sim) TotalPower() power.Watts {
+	var sum power.Watts
+	for _, id := range s.serverOrder {
+		sum += s.Servers[id].Power()
+	}
+	// Non-cappable switches draw a constant; cappable ones are counted
+	// above as servers.
+	for _, sw := range s.Topo.OfKind(topology.KindSwitch) {
+		if _, ok := s.Servers[string(sw.ID)]; !ok {
+			sum += s.Cfg.SwitchDraw
+		}
+	}
+	return sum
+}
+
+// Record starts sampling the given devices' true power every interval.
+func (s *Sim) Record(interval time.Duration, devices ...topology.NodeID) {
+	s.recordEvery = interval
+	for _, id := range devices {
+		if _, ok := s.recorded[id]; !ok {
+			s.recorded[id] = metrics.NewSeries(4096)
+		}
+	}
+}
+
+// RecordServers starts sampling individual servers' power.
+func (s *Sim) RecordServers(interval time.Duration, ids ...string) {
+	s.recordEvery = interval
+	for _, id := range ids {
+		if _, ok := s.recordedServers[id]; !ok {
+			s.recordedServers[id] = metrics.NewSeries(4096)
+		}
+	}
+}
+
+// Series returns the recorded series for a device (nil if not recorded).
+func (s *Sim) Series(devID topology.NodeID) *metrics.Series { return s.recorded[devID] }
+
+// ServerSeries returns the recorded series for a server.
+func (s *Sim) ServerSeries(id string) *metrics.Series { return s.recordedServers[id] }
+
+// SetServiceLoadFactor scales a service's deterministic load (traffic
+// shifts, load tests, site outages).
+func (s *Sim) SetServiceLoadFactor(service string, f float64) {
+	if sh, ok := s.Shared[service]; ok {
+		sh.SetLoadFactor(f)
+	}
+}
+
+// SetExtraLoadUnder adds additive load to every server under a device
+// (per-row load tests, Fig 11/15).
+func (s *Sim) SetExtraLoadUnder(devID topology.NodeID, extra float64) {
+	for _, srv := range s.Topo.ServersUnder(devID) {
+		s.Gens[string(srv.ID)].SetExtraLoad(extra)
+	}
+}
+
+// SetTurboForService toggles Turbo Boost for every server of a service.
+func (s *Sim) SetTurboForService(service string, on bool) {
+	for _, id := range s.serverOrder {
+		if s.Servers[id].Service() == service {
+			s.Servers[id].SetTurbo(on)
+		}
+	}
+}
+
+// SetGovMaxForService sets/clears the administrative frequency lock for a
+// service (0 clears).
+func (s *Sim) SetGovMaxForService(service string, f float64) {
+	for _, id := range s.serverOrder {
+		if s.Servers[id].Service() == service {
+			s.Servers[id].SetGovMaxFreq(f)
+		}
+	}
+}
+
+// CappedServerCount returns how many servers currently hold a RAPL limit.
+func (s *Sim) CappedServerCount() int {
+	n := 0
+	for _, id := range s.serverOrder {
+		if _, ok := s.Servers[id].Limit(); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ServiceStats aggregates performance counters for one service.
+type ServiceStats struct {
+	Servers   int
+	Offered   float64
+	Delivered float64
+	// MeanSlowdown is the average instantaneous latency inflation.
+	MeanSlowdown float64
+}
+
+// StatsForService summarizes a service's performance counters.
+func (s *Sim) StatsForService(service string) ServiceStats {
+	var st ServiceStats
+	for _, id := range s.serverOrder {
+		sv := s.Servers[id]
+		if sv.Service() != service {
+			continue
+		}
+		st.Servers++
+		o, d := sv.Work()
+		st.Offered += o
+		st.Delivered += d
+		st.MeanSlowdown += sv.Slowdown()
+	}
+	if st.Servers > 0 {
+		st.MeanSlowdown /= float64(st.Servers)
+	}
+	return st
+}
+
+// ResetWork clears every server's work counters (to scope throughput
+// measurements to a window).
+func (s *Sim) ResetWork() {
+	for _, id := range s.serverOrder {
+		s.Servers[id].ResetWork()
+	}
+}
+
+// Observations returns a monitoring snapshot of every power device:
+// current draw and breaker limit, ready to feed internal/monitor.
+func (s *Sim) Observations() []monitor.Observation {
+	out := make([]monitor.Observation, 0, len(s.deviceOrder))
+	for _, id := range s.deviceOrder {
+		br := s.Breakers[id]
+		out = append(out, monitor.Observation{
+			Device: string(id),
+			Class:  br.Class(),
+			Power:  s.DevicePower(id),
+			Limit:  br.Rating(),
+		})
+	}
+	return out
+}
+
+// TrippedDevices lists devices whose breakers have tripped.
+func (s *Sim) TrippedDevices() []topology.NodeID {
+	var out []topology.NodeID
+	for _, id := range s.deviceOrder {
+		if s.Breakers[id].Tripped() {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dynamo/internal/core"
+	"dynamo/internal/power"
+	"dynamo/internal/topology"
+)
+
+// newWatchdogForTest builds a core watchdog over the sim's network.
+func newWatchdogForTest(s *Sim, ids []string, restart func(string)) *core.Watchdog {
+	return core.NewWatchdog(s.Loop, s.Net, ids, core.WatchdogConfig{
+		Interval: 5 * time.Second, FailThreshold: 2, Restart: restart,
+	})
+}
+
+func TestSimSensorlessGeneration(t *testing.T) {
+	spec := tinySpec()
+	spec.Services = []topology.ServiceShare{
+		{Service: "f4storage", Generation: "westmere2011", Weight: 1},
+	}
+	s, err := New(Config{
+		Spec: spec, Seed: 12, EnableDynamo: true,
+		SensorlessGenerations: []string{"westmere2011"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30 * time.Second)
+	// The controllers still aggregate: estimated readings work end to end.
+	msb := s.Topo.OfKind(topology.KindMSB)[0]
+	agg, valid := s.Hierarchy.Upper(msb.ID).LastAggregate()
+	if !valid || agg <= 0 {
+		t.Fatalf("agg=%v valid=%v with estimation-only fleet", agg, valid)
+	}
+	truth := s.TotalPower()
+	rel := (float64(agg) - float64(truth)) / float64(truth)
+	if rel < -0.15 || rel > 0.15 {
+		t.Errorf("estimated aggregate %v vs truth %v (%.1f%%)", agg, truth, rel*100)
+	}
+}
+
+func TestSimDisableTripOutage(t *testing.T) {
+	spec := tinySpec()
+	spec.RPPRating = power.KW(2.4)
+	s, _ := New(Config{Spec: spec, Seed: 7, EnableDynamo: false, DisableTripOutage: true})
+	for _, svc := range []string{"web", "cache", "hadoop", "database", "newsfeed"} {
+		s.SetServiceLoadFactor(svc, 1.6)
+	}
+	s.Run(30 * time.Minute)
+	if len(s.Trips) == 0 {
+		t.Fatal("expected trips")
+	}
+	for _, srv := range s.Topo.Servers() {
+		if s.Servers[string(srv.ID)].Crashed() {
+			t.Fatal("DisableTripOutage should keep servers up")
+		}
+	}
+}
+
+func TestSimConfigValidation(t *testing.T) {
+	if _, err := New(Config{Spec: tinySpec(), NetLatency: -time.Second}); err == nil {
+		t.Error("negative latency should fail")
+	}
+	bad := tinySpec()
+	bad.Services = []topology.ServiceShare{{Service: "doesnotexist", Generation: "haswell2015", Weight: 1}}
+	if _, err := New(Config{Spec: bad}); err == nil {
+		t.Error("unknown service should fail")
+	}
+	bad2 := tinySpec()
+	bad2.Services = []topology.ServiceShare{{Service: "web", Generation: "nope", Weight: 1}}
+	if _, err := New(Config{Spec: bad2}); err == nil {
+		t.Error("unknown generation should fail")
+	}
+}
+
+func TestSimObservations(t *testing.T) {
+	s, _ := New(Config{Spec: tinySpec(), Seed: 3})
+	s.Run(time.Minute)
+	obs := s.Observations()
+	if len(obs) != len(s.Breakers) {
+		t.Fatalf("observations = %d, want %d", len(obs), len(s.Breakers))
+	}
+	for _, o := range obs {
+		if o.Limit <= 0 {
+			t.Errorf("%s has no limit", o.Device)
+		}
+		if o.Power < 0 {
+			t.Errorf("%s negative power", o.Device)
+		}
+	}
+}
+
+func TestSimHardwareSpread(t *testing.T) {
+	s, _ := New(Config{Spec: tinySpec(), Seed: 3, HardwareSpread: 0.05})
+	s.Run(10 * time.Second)
+	// Two servers of the same service should not draw identically.
+	var powers []power.Watts
+	for _, srv := range s.Topo.Servers() {
+		if srv.Service == "web" {
+			powers = append(powers, s.Servers[string(srv.ID)].Power())
+		}
+	}
+	if len(powers) >= 2 && powers[0] == powers[1] {
+		t.Error("hardware spread should differentiate identical servers")
+	}
+	// Spread disabled: models are identical (loads still differ).
+	s2, _ := New(Config{Spec: tinySpec(), Seed: 3, HardwareSpread: -1})
+	srv := s2.Topo.Servers()[0]
+	if s2.Servers[string(srv.ID)].Model().Peak != 345 {
+		t.Error("spread -1 should keep nominal models")
+	}
+}
+
+func TestSimWatchdogIntegration(t *testing.T) {
+	// Wire a core watchdog against the sim's network: partition an agent
+	// and let the watchdog heal it.
+	s, _ := New(Config{Spec: tinySpec(), Seed: 4, EnableDynamo: true})
+	victim := string(s.Topo.Servers()[0].ID)
+	ids := make([]string, 0, len(s.Servers))
+	for id := range s.Servers {
+		ids = append(ids, id)
+	}
+	healed := false
+	w := newWatchdogForTest(s, ids, func(id string) {
+		if id == victim {
+			healed = true
+			s.Net.SetPartitioned("agent/"+victim, false)
+		}
+	})
+	w.Start()
+	s.Run(30 * time.Second)
+	s.Net.SetPartitioned("agent/"+victim, true)
+	s.Run(2 * time.Minute)
+	if !healed {
+		t.Error("watchdog did not restart the partitioned agent")
+	}
+}

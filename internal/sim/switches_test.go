@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dynamo/internal/power"
+	"dynamo/internal/topology"
+)
+
+func TestCappableSwitchesBecomeAgents(t *testing.T) {
+	s, err := New(Config{Spec: tinySpec(), Seed: 21, EnableDynamo: true, CappableSwitches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSwitches := len(s.Topo.OfKind(topology.KindSwitch))
+	if nSwitches == 0 {
+		t.Skip("spec has no switches")
+	}
+	// Every switch now has a simulated device and an agent.
+	for _, sw := range s.Topo.OfKind(topology.KindSwitch) {
+		if _, ok := s.Servers[string(sw.ID)]; !ok {
+			t.Fatalf("switch %s has no simulated device", sw.ID)
+		}
+		if _, ok := s.Agents[string(sw.ID)]; !ok {
+			t.Fatalf("switch %s has no agent", sw.ID)
+		}
+	}
+	s.Run(30 * time.Second)
+	st := s.StatsForService("network")
+	if st.Servers != nSwitches {
+		t.Errorf("network endpoints = %d, want %d", st.Servers, nSwitches)
+	}
+	// Controllers aggregate the measured switch draw, not a constant.
+	msb := s.Topo.OfKind(topology.KindMSB)[0]
+	agg, valid := s.Hierarchy.Upper(msb.ID).LastAggregate()
+	truth := s.TotalPower()
+	if !valid {
+		t.Fatal("invalid aggregation")
+	}
+	rel := (float64(agg) - float64(truth)) / float64(truth)
+	if rel < -0.05 || rel > 0.05 {
+		t.Errorf("agg %v vs truth %v", agg, truth)
+	}
+}
+
+// TestSwitchesCappedLast verifies the network priority group is consumed
+// only after every server group hits its SLA floor.
+func TestSwitchesCappedLast(t *testing.T) {
+	spec := tinySpec()
+	spec.RPPRating = power.KW(2.0) // deep overload forces full capping
+	s, err := New(Config{Spec: spec, Seed: 22, EnableDynamo: true, CappableSwitches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"web", "cache", "hadoop", "database", "newsfeed"} {
+		s.SetServiceLoadFactor(svc, 1.6)
+	}
+	s.Run(10 * time.Minute)
+
+	serversCapped, switchesCapped := 0, 0
+	for _, srv := range s.Topo.Servers() {
+		if _, ok := s.Servers[string(srv.ID)].Limit(); ok {
+			serversCapped++
+		}
+	}
+	for _, sw := range s.Topo.OfKind(topology.KindSwitch) {
+		if _, ok := s.Servers[string(sw.ID)].Limit(); ok {
+			switchesCapped++
+		}
+	}
+	if serversCapped == 0 {
+		t.Fatal("expected server capping under deep overload")
+	}
+	// Switches may be capped only in this extreme scenario, and if they
+	// are, servers must be saturated at their floors first. A softer
+	// overload must never touch switches:
+	s2, _ := New(Config{Spec: tinySpec(), Seed: 22, EnableDynamo: true, CappableSwitches: true})
+	rpp := s2.Topo.OfKind(topology.KindRPP)[0]
+	s2.SetExtraLoadUnder(rpp.ID, 0.2)
+	s2.Run(5 * time.Minute)
+	for _, sw := range s2.Topo.OfKind(topology.KindSwitch) {
+		if _, ok := s2.Servers[string(sw.ID)].Limit(); ok {
+			t.Errorf("switch %s capped under mild load", sw.ID)
+		}
+	}
+}
+
+func TestSwitchModelNarrowRange(t *testing.T) {
+	// A capped switch cannot be pushed below its high frequency floor:
+	// the network never turns off.
+	s, _ := New(Config{Spec: tinySpec(), Seed: 23, CappableSwitches: true})
+	sw := s.Topo.OfKind(topology.KindSwitch)[0]
+	dev := s.Servers[string(sw.ID)]
+	dev.SetLimit(50) // absurd limit
+	s.Run(time.Minute)
+	if dev.Power() < 100 {
+		t.Errorf("switch power %v below its physical floor", dev.Power())
+	}
+	if dev.Freq() < 0.79 {
+		t.Errorf("switch freq %v below floor 0.8", dev.Freq())
+	}
+}

@@ -1,0 +1,117 @@
+// Package simclock provides the event-loop abstraction that all Dynamo
+// components are written against. Two implementations exist: SimLoop, a
+// deterministic discrete-event scheduler driven by virtual time (used by the
+// simulator and by every experiment so that a simulated day runs in
+// milliseconds and is reproducible from a seed), and WallLoop, a real-time
+// loop used by the dynamo-agentd and dynamo-controllerd daemons that speak
+// RPC over real TCP.
+//
+// Components never sleep and never read the wall clock; they schedule
+// callbacks on a Loop. This mirrors the production system's design where the
+// controller is a collection of periodic, restartable control cycles.
+package simclock
+
+import "time"
+
+// Loop is a single-threaded executor with a notion of current time.
+// Callbacks scheduled on a Loop run sequentially; components that share a
+// Loop therefore need no additional locking among themselves.
+type Loop interface {
+	// Now returns the loop's current time as an offset from its epoch.
+	Now() time.Duration
+	// After schedules f to run d from now. d <= 0 runs f as soon as
+	// possible, in scheduling order. The returned Timer can be stopped.
+	After(d time.Duration, f func()) *Timer
+	// Post enqueues f to run at the current time. Unlike After, Post is
+	// safe to call from any goroutine; it is how external event sources
+	// (e.g. TCP readers) hand work to the loop.
+	Post(f func())
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	stopped bool
+	when    time.Duration
+	seq     uint64
+	f       func()
+}
+
+// Stop cancels the timer. It reports whether the callback had not yet run.
+// Stop must be called from the loop goroutine.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Stopped reports whether Stop was called before the callback ran.
+func (t *Timer) Stopped() bool { return t != nil && t.stopped }
+
+// When returns the loop time at which the timer is scheduled to fire.
+func (t *Timer) When() time.Duration { return t.when }
+
+// Ticker repeatedly invokes a callback at a fixed period on a Loop. It is
+// the building block for control cycles (the 3 s leaf pull cycle, the 9 s
+// upper-level pull cycle, the agent watchdog, ...).
+type Ticker struct {
+	loop   Loop
+	period time.Duration
+	f      func()
+	timer  *Timer
+	active bool
+}
+
+// NewTicker creates a ticker; it does not start it.
+func NewTicker(loop Loop, period time.Duration, f func()) *Ticker {
+	if period <= 0 {
+		panic("simclock: ticker period must be positive")
+	}
+	return &Ticker{loop: loop, period: period, f: f}
+}
+
+// Start schedules the first tick one period from now. Starting a started
+// ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.schedule()
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.active = false
+	if t.timer != nil {
+		t.timer.Stop()
+		t.timer = nil
+	}
+}
+
+// Active reports whether the ticker is running.
+func (t *Ticker) Active() bool { return t.active }
+
+// Period returns the tick period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// SetPeriod changes the period for subsequent ticks.
+func (t *Ticker) SetPeriod(p time.Duration) {
+	if p <= 0 {
+		panic("simclock: ticker period must be positive")
+	}
+	t.period = p
+}
+
+func (t *Ticker) schedule() {
+	t.timer = t.loop.After(t.period, func() {
+		if !t.active {
+			return
+		}
+		t.f()
+		if t.active {
+			t.schedule()
+		}
+	})
+}

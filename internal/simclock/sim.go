@@ -1,0 +1,177 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SimLoop is a deterministic discrete-event scheduler. Events run in
+// (time, sequence) order; two events scheduled for the same instant run in
+// the order they were scheduled. All experiment and simulation code runs on
+// a SimLoop so results are bit-reproducible for a given seed.
+//
+// SimLoop is not itself goroutine-safe except for Post, which may be called
+// from other goroutines (e.g. a TCP reader feeding a simulated controller in
+// integration tests); posted events are folded into the queue at the loop's
+// current time the next time the loop looks for work.
+type SimLoop struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+
+	mu     sync.Mutex
+	posted []func()
+
+	// Steps counts executed events, useful for run-away detection in tests.
+	steps uint64
+	limit uint64
+}
+
+// NewSimLoop returns an empty loop positioned at time zero.
+func NewSimLoop() *SimLoop {
+	return &SimLoop{limit: 0}
+}
+
+// Now returns the current virtual time.
+func (l *SimLoop) Now() time.Duration { return l.now }
+
+// Steps returns the number of events executed so far.
+func (l *SimLoop) Steps() uint64 { return l.steps }
+
+// SetStepLimit makes Run panic after n events, guarding tests against
+// accidental infinite event chains. Zero disables the limit.
+func (l *SimLoop) SetStepLimit(n uint64) { l.limit = n }
+
+// After implements Loop.
+func (l *SimLoop) After(d time.Duration, f func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{when: l.now + d, seq: l.seq, f: f}
+	l.seq++
+	heap.Push(&l.pq, t)
+	return t
+}
+
+// Post implements Loop. It is safe for concurrent use.
+func (l *SimLoop) Post(f func()) {
+	l.mu.Lock()
+	l.posted = append(l.posted, f)
+	l.mu.Unlock()
+}
+
+func (l *SimLoop) drainPosted() {
+	l.mu.Lock()
+	posted := l.posted
+	l.posted = nil
+	l.mu.Unlock()
+	for _, f := range posted {
+		l.After(0, f)
+	}
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// deadline. It reports whether an event was executed.
+func (l *SimLoop) Step() bool {
+	l.drainPosted()
+	for l.pq.Len() > 0 {
+		t := heap.Pop(&l.pq).(*Timer)
+		if t.stopped {
+			continue
+		}
+		l.now = t.when
+		l.countStep()
+		t.f()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until virtual time would pass deadline, leaving
+// the clock at exactly deadline. Events scheduled for the deadline itself
+// are executed.
+func (l *SimLoop) RunUntil(deadline time.Duration) {
+	for {
+		l.drainPosted()
+		if l.pq.Len() == 0 {
+			break
+		}
+		next := l.peek()
+		if next == nil {
+			break
+		}
+		if next.when > deadline {
+			break
+		}
+		heap.Pop(&l.pq)
+		if next.stopped {
+			continue
+		}
+		l.now = next.when
+		l.countStep()
+		next.f()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+}
+
+// RunFor advances the loop by d from its current time.
+func (l *SimLoop) RunFor(d time.Duration) { l.RunUntil(l.now + d) }
+
+// Drain runs until no events remain. Use with care: tickers never drain.
+func (l *SimLoop) Drain() {
+	for l.Step() {
+	}
+}
+
+// Pending returns the number of scheduled (possibly stopped) events.
+func (l *SimLoop) Pending() int {
+	l.mu.Lock()
+	n := len(l.posted)
+	l.mu.Unlock()
+	return l.pq.Len() + n
+}
+
+func (l *SimLoop) peek() *Timer {
+	// Discard stopped timers lazily from the top of the heap.
+	for l.pq.Len() > 0 {
+		t := l.pq[0]
+		if t.stopped {
+			heap.Pop(&l.pq)
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+func (l *SimLoop) countStep() {
+	l.steps++
+	if l.limit > 0 && l.steps > l.limit {
+		panic(fmt.Sprintf("simclock: step limit %d exceeded at t=%s", l.limit, l.now))
+	}
+}
+
+// eventHeap orders timers by (when, seq).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,109 @@
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// WallLoop is a Loop driven by the real clock. It runs callbacks on a single
+// dedicated goroutine, so components written for SimLoop work unchanged in
+// the real-time daemons (dynamo-agentd, dynamo-controllerd).
+type WallLoop struct {
+	epoch time.Time
+	work  chan func()
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewWallLoop creates and starts a wall-clock loop.
+func NewWallLoop() *WallLoop {
+	l := &WallLoop{
+		epoch: time.Now(),
+		work:  make(chan func(), 1024),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go l.run()
+	return l
+}
+
+func (l *WallLoop) run() {
+	defer close(l.done)
+	for {
+		select {
+		case f := <-l.work:
+			f()
+		case <-l.stop:
+			// Drain anything already queued, then exit.
+			for {
+				select {
+				case f := <-l.work:
+					f()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Now implements Loop: elapsed real time since the loop was created.
+func (l *WallLoop) Now() time.Duration { return time.Since(l.epoch) }
+
+// After implements Loop. The callback is marshalled onto the loop goroutine.
+func (l *WallLoop) After(d time.Duration, f func()) *Timer {
+	t := &Timer{when: l.Now() + d, f: f}
+	time.AfterFunc(d, func() {
+		l.Post(func() {
+			if !t.stopped {
+				t.f()
+			}
+		})
+	})
+	return t
+}
+
+// Post implements Loop and is safe for concurrent use. Posting to a closed
+// loop is a no-op.
+func (l *WallLoop) Post(f func()) {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case l.work <- f:
+	case <-l.stop:
+	}
+}
+
+// Close stops the loop goroutine after draining queued work.
+func (l *WallLoop) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+}
+
+// Call runs f on the loop goroutine and waits for it to finish. It is a
+// convenience for tests and daemon shutdown paths.
+func (l *WallLoop) Call(f func()) {
+	done := make(chan struct{})
+	l.Post(func() {
+		f()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-l.stop:
+	}
+}

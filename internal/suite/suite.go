@@ -1,0 +1,160 @@
+// Package suite assembles a consolidated suite controller from a
+// config.Suite: every leaf and upper controller for one data center suite
+// runs in a single process on one event loop, controller-to-controller
+// traffic stays in-process, and agents (plus optional out-of-suite
+// parents) are reached over the injected dialer — exactly the paper's
+// production packaging (§IV).
+package suite
+
+import (
+	"fmt"
+
+	"dynamo/internal/config"
+	"dynamo/internal/core"
+	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+)
+
+// Dialer connects to a remote endpoint (an agent or an out-of-suite
+// controller). Production uses rpc.DialTCP; tests inject an in-process
+// network's Dial.
+type Dialer func(addr string) (rpc.Client, error)
+
+// Assembly is a built suite: all controllers consolidated on one loop.
+type Assembly struct {
+	Name   string
+	Leaves map[string]*core.Leaf
+	Uppers map[string]*core.Upper
+	// Intra is the in-process network carrying sibling controller
+	// traffic (paper: shared-memory communication between consolidated
+	// instances).
+	Intra *rpc.Network
+
+	order []string
+}
+
+// Build constructs every controller in the suite configuration.
+func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.AlertFunc) (*Assembly, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Assembly{
+		Name:   cfg.Name,
+		Leaves: map[string]*core.Leaf{},
+		Uppers: map[string]*core.Upper{},
+		Intra:  rpc.NewNetwork(loop, 0, 1),
+	}
+
+	// Pass 1: leaves (they have no intra-suite dependencies).
+	for _, c := range cfg.Controllers {
+		if c.Level != "leaf" {
+			continue
+		}
+		var refs []core.AgentRef
+		for _, ag := range c.Agents {
+			cl, err := dial(ag.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("suite: dial agent %s (%s): %w", ag.ID, ag.Addr, err)
+			}
+			refs = append(refs, core.AgentRef{
+				ServerID: ag.ID, Service: ag.Service, Generation: ag.Generation, Client: cl,
+			})
+		}
+		lc := core.LeafConfig{
+			DeviceID:     c.Device,
+			Limit:        power.Watts(c.LimitWatts),
+			Quota:        power.Watts(c.QuotaWatts),
+			PollInterval: c.Poll(),
+			DryRun:       c.DryRun,
+			UsePID:       c.UsePID,
+			Alerts:       alerts,
+		}
+		if c.Bands != nil {
+			lc.Bands = bandConfig(c.Bands)
+		}
+		leaf := core.NewLeaf(loop, lc, refs)
+		a.Leaves[c.Device] = leaf
+		a.Intra.Register(core.CtrlAddr(c.Device), leaf.Handler())
+		a.order = append(a.order, c.Device)
+	}
+
+	// Pass 2: uppers, resolving sibling references through the intra
+	// network and remote children through the dialer.
+	for _, c := range cfg.Controllers {
+		if c.Level != "upper" {
+			continue
+		}
+		var children []core.ChildRef
+		for _, ch := range c.Children {
+			var cl rpc.Client
+			var id string
+			if ch.Device != "" {
+				id = ch.Device
+				cl = a.Intra.Dial(core.CtrlAddr(ch.Device))
+			} else {
+				id = ch.Addr
+				var err error
+				cl, err = dial(ch.Addr)
+				if err != nil {
+					return nil, fmt.Errorf("suite: dial child %s: %w", ch.Addr, err)
+				}
+			}
+			children = append(children, core.ChildRef{
+				ID: id, Client: cl, Quota: power.Watts(ch.QuotaWatts),
+			})
+		}
+		uc := core.UpperConfig{
+			DeviceID:     c.Device,
+			Limit:        power.Watts(c.LimitWatts),
+			Quota:        power.Watts(c.QuotaWatts),
+			PollInterval: c.Poll(),
+			DryRun:       c.DryRun,
+			Alerts:       alerts,
+		}
+		if c.Bands != nil {
+			uc.Bands = bandConfig(c.Bands)
+		}
+		up := core.NewUpper(loop, uc, children)
+		a.Uppers[c.Device] = up
+		a.Intra.Register(core.CtrlAddr(c.Device), up.Handler())
+		a.order = append(a.order, c.Device)
+	}
+	return a, nil
+}
+
+func bandConfig(b *config.Bands) core.BandConfig {
+	return core.BandConfig{
+		CapThresholdFrac:   b.CapThresholdFrac,
+		CapTargetFrac:      b.CapTargetFrac,
+		UncapThresholdFrac: b.UncapThresholdFrac,
+	}
+}
+
+// Controller returns the named controller as the common interface.
+func (a *Assembly) Controller(device string) core.Controller {
+	if l, ok := a.Leaves[device]; ok {
+		return l
+	}
+	if u, ok := a.Uppers[device]; ok {
+		return u
+	}
+	return nil
+}
+
+// StartAll starts every controller in declaration order.
+func (a *Assembly) StartAll() {
+	for _, d := range a.order {
+		a.Controller(d).Start()
+	}
+}
+
+// StopAll stops every controller.
+func (a *Assembly) StopAll() {
+	for _, d := range a.order {
+		a.Controller(d).Stop()
+	}
+}
+
+// NumControllers returns the instance count.
+func (a *Assembly) NumControllers() int { return len(a.order) }

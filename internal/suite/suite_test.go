@@ -1,0 +1,169 @@
+package suite
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynamo/internal/agent"
+	"dynamo/internal/config"
+	"dynamo/internal/core"
+	"dynamo/internal/platform"
+	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/server"
+	"dynamo/internal/simclock"
+)
+
+// testWorld hosts agents on an "external" in-proc network standing in for
+// TCP, plus the loop shared by everything.
+type testWorld struct {
+	loop    *simclock.SimLoop
+	ext     *rpc.Network
+	servers map[string]*server.Server
+	order   []string
+}
+
+func newWorld(t *testing.T) *testWorld {
+	t.Helper()
+	loop := simclock.NewSimLoop()
+	w := &testWorld{
+		loop:    loop,
+		ext:     rpc.NewNetwork(loop, 2*time.Millisecond, 7),
+		servers: map[string]*server.Server{},
+	}
+	tick := simclock.NewTicker(loop, time.Second, func() {
+		for _, id := range w.order {
+			w.servers[id].Tick(loop.Now())
+		}
+	})
+	tick.Start()
+	return w
+}
+
+func (w *testWorld) addAgent(id string, load float64) {
+	srv := server.New(server.Config{
+		ID: id, Service: "web",
+		Model:  server.MustModel("haswell2015"),
+		Source: server.LoadFunc(func(time.Duration) float64 { return load }),
+	})
+	srv.Tick(0)
+	w.servers[id] = srv
+	w.order = append(w.order, id)
+	ag := agent.New(id, "web", "haswell2015", platform.NewMSR(srv, platform.Options{Seed: 1}))
+	w.ext.Register("tcp/"+id, ag.Handler())
+}
+
+func (w *testWorld) dialer() Dialer {
+	return func(addr string) (rpc.Client, error) { return w.ext.Dial(addr), nil }
+}
+
+func suiteDoc(nPerLeaf int) *config.Suite {
+	mk := func(leaf string, start int) []config.AgentEntry {
+		var out []config.AgentEntry
+		for i := 0; i < nPerLeaf; i++ {
+			id := fmt.Sprintf("%s-srv%d", leaf, start+i)
+			out = append(out, config.AgentEntry{
+				ID: id, Service: "web", Generation: "haswell2015", Addr: "tcp/" + id,
+			})
+		}
+		return out
+	}
+	return &config.Suite{
+		Name: "suite-test",
+		Controllers: []config.Controller{
+			{Device: "rpp1", Level: "leaf", LimitWatts: 200000, QuotaWatts: 1400, Agents: mk("rpp1", 0)},
+			{Device: "rpp2", Level: "leaf", LimitWatts: 200000, QuotaWatts: 1400, Agents: mk("rpp2", 0)},
+			{Device: "sb1", Level: "upper", LimitWatts: 2800,
+				Children: []config.ChildEntry{
+					{Device: "rpp1", QuotaWatts: 1400},
+					{Device: "rpp2", QuotaWatts: 1400},
+				}},
+		},
+	}
+}
+
+func TestBuildAndRunSuite(t *testing.T) {
+	w := newWorld(t)
+	cfg := suiteDoc(5)
+	for _, c := range cfg.Controllers {
+		for _, a := range c.Agents {
+			w.addAgent(a.ID, 0.8) // ~295 W each; 10 servers ≈ 2950 W > 2800 SB limit
+		}
+	}
+	var alerts []core.Alert
+	asm, err := Build(w.loop, cfg, w.dialer(), func(a core.Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm.NumControllers() != 3 {
+		t.Fatalf("controllers = %d", asm.NumControllers())
+	}
+	asm.StartAll()
+	w.loop.RunUntil(2 * time.Minute)
+
+	// The SB controller aggregates through its in-process siblings and,
+	// being over its 2.8 kW limit, contracts the offenders.
+	agg, valid := asm.Uppers["sb1"].LastAggregate()
+	if !valid || agg <= 0 {
+		t.Fatalf("sb agg = %v/%v", agg, valid)
+	}
+	if agg > power.Watts(2800) {
+		t.Errorf("sb agg %v above limit after control", agg)
+	}
+	capped := 0
+	for _, id := range w.order {
+		if _, ok := w.servers[id].Limit(); ok {
+			capped++
+		}
+	}
+	if capped == 0 {
+		t.Error("no servers capped through the consolidated suite")
+	}
+	asm.StopAll()
+	w.loop.RunFor(10 * time.Second) // drain any in-flight cycle
+	cycles := asm.Leaves["rpp1"].Cycles()
+	w.loop.RunUntil(5 * time.Minute)
+	if asm.Leaves["rpp1"].Cycles() != cycles {
+		t.Error("controllers kept running after StopAll")
+	}
+}
+
+func TestBuildRejectsInvalidConfig(t *testing.T) {
+	w := newWorld(t)
+	bad := &config.Suite{Name: "x"}
+	if _, err := Build(w.loop, bad, w.dialer(), nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestBuildDialerErrorPropagates(t *testing.T) {
+	w := newWorld(t)
+	cfg := suiteDoc(1)
+	failing := func(addr string) (rpc.Client, error) {
+		return nil, fmt.Errorf("no route to %s", addr)
+	}
+	if _, err := Build(w.loop, cfg, failing, nil); err == nil {
+		t.Fatal("dialer error swallowed")
+	}
+}
+
+func TestControllerLookup(t *testing.T) {
+	w := newWorld(t)
+	cfg := suiteDoc(1)
+	for _, c := range cfg.Controllers {
+		for _, a := range c.Agents {
+			w.addAgent(a.ID, 0.5)
+		}
+	}
+	asm, err := Build(w.loop, cfg, w.dialer(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm.Controller("rpp1") == nil || asm.Controller("sb1") == nil {
+		t.Error("lookup failed")
+	}
+	if asm.Controller("ghost") != nil {
+		t.Error("unknown device should be nil")
+	}
+}

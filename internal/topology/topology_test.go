@@ -1,0 +1,282 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynamo/internal/power"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindDatacenter: "datacenter",
+		KindMSB:        "msb",
+		KindSB:         "sb",
+		KindRPP:        "rpp",
+		KindRack:       "rack",
+		KindServer:     "server",
+		KindSwitch:     "switch",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind should include value")
+	}
+}
+
+func TestKindDeviceClass(t *testing.T) {
+	if c, ok := KindRPP.DeviceClass(); !ok || c != power.ClassRPP {
+		t.Errorf("KindRPP.DeviceClass() = %v, %v", c, ok)
+	}
+	if _, ok := KindServer.DeviceClass(); ok {
+		t.Error("servers have no device class")
+	}
+	if _, ok := KindSwitch.DeviceClass(); ok {
+		t.Error("switches have no device class")
+	}
+}
+
+func TestDefaultSpecBuild(t *testing.T) {
+	spec := DefaultSpec()
+	topo := spec.MustBuild()
+
+	wantServers := spec.NumServers()
+	if got := len(topo.Servers()); got != wantServers {
+		t.Errorf("servers = %d, want %d", got, wantServers)
+	}
+	if got := len(topo.OfKind(KindMSB)); got != spec.MSBs {
+		t.Errorf("MSBs = %d, want %d", got, spec.MSBs)
+	}
+	if got := len(topo.OfKind(KindSB)); got != spec.MSBs*spec.SBsPerMSB {
+		t.Errorf("SBs = %d", got)
+	}
+	wantRacks := spec.MSBs * spec.SBsPerMSB * spec.RPPsPerSB * spec.RacksPerRPP
+	if got := len(topo.OfKind(KindRack)); got != wantRacks {
+		t.Errorf("racks = %d, want %d", got, wantRacks)
+	}
+	if got := len(topo.OfKind(KindSwitch)); got != wantRacks {
+		t.Errorf("switches = %d, want %d (one per rack)", got, wantRacks)
+	}
+}
+
+func TestBuildRatingsAndQuotas(t *testing.T) {
+	topo := DefaultSpec().MustBuild()
+	for _, n := range topo.OfKind(KindMSB) {
+		if n.Rating != power.MW(2.5) {
+			t.Errorf("MSB rating = %v", n.Rating)
+		}
+	}
+	for _, n := range topo.OfKind(KindRPP) {
+		if n.Rating != power.KW(190) {
+			t.Errorf("RPP rating = %v", n.Rating)
+		}
+		// Quota partitions the parent SB rating among 4 RPPs.
+		want := power.Watts(float64(power.MW(1.25)) / 4)
+		if n.Quota != want {
+			t.Errorf("RPP quota = %v, want %v", n.Quota, want)
+		}
+	}
+}
+
+// TestOversubscriptionPresent verifies the defining property of the paper's
+// infrastructure: children's combined ratings exceed the parent's rating at
+// every level above the rack.
+func TestOversubscriptionPresent(t *testing.T) {
+	topo := FullSpec().MustBuild()
+	for _, kind := range []Kind{KindMSB, KindSB, KindRPP} {
+		for _, n := range topo.OfKind(kind) {
+			var childSum power.Watts
+			for _, c := range n.Children {
+				childSum += c.Rating
+			}
+			if childSum <= n.Rating {
+				t.Errorf("%s (%v): children sum %v does not oversubscribe rating %v",
+					n.ID, kind, childSum, n.Rating)
+			}
+		}
+	}
+}
+
+func TestServiceMixProportions(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Services = []ServiceShare{
+		{Service: "a", Generation: "haswell2015", Weight: 3},
+		{Service: "b", Generation: "haswell2015", Weight: 1},
+	}
+	topo := spec.MustBuild()
+	counts := map[string]int{}
+	for _, s := range topo.Servers() {
+		counts[s.Service]++
+	}
+	total := counts["a"] + counts["b"]
+	if total != spec.NumServers() {
+		t.Fatalf("total = %d", total)
+	}
+	fracA := float64(counts["a"]) / float64(total)
+	if fracA < 0.70 || fracA > 0.80 {
+		t.Errorf("service a fraction = %.2f, want ≈0.75", fracA)
+	}
+}
+
+func TestRacksHomogeneous(t *testing.T) {
+	topo := DefaultSpec().MustBuild()
+	for _, rack := range topo.OfKind(KindRack) {
+		var svc string
+		for _, c := range rack.Children {
+			if c.Kind != KindServer {
+				continue
+			}
+			if svc == "" {
+				svc = c.Service
+			} else if c.Service != svc {
+				t.Fatalf("rack %s mixes services %q and %q", rack.ID, svc, c.Service)
+			}
+		}
+	}
+}
+
+func TestLookupAndPaths(t *testing.T) {
+	topo := DefaultSpec().MustBuild()
+	srv := topo.Servers()[0]
+	if topo.Lookup(srv.ID) != srv {
+		t.Error("Lookup failed for server")
+	}
+	if topo.Lookup("nope") != nil {
+		t.Error("Lookup of unknown ID should be nil")
+	}
+	path := srv.Path()
+	if len(path) != 6 { // dc, msb, sb, rpp, rack, server
+		t.Fatalf("path len = %d: %v", len(path), path)
+	}
+	if path[0] != topo.Root || path[5] != srv {
+		t.Error("path endpoints wrong")
+	}
+	if srv.Level() != 5 {
+		t.Errorf("server level = %d", srv.Level())
+	}
+}
+
+func TestServersUnder(t *testing.T) {
+	spec := DefaultSpec()
+	topo := spec.MustBuild()
+	rpp := topo.OfKind(KindRPP)[0]
+	got := topo.ServersUnder(rpp.ID)
+	want := spec.RacksPerRPP * spec.ServersPerRack
+	if len(got) != want {
+		t.Errorf("ServersUnder(rpp) = %d, want %d", len(got), want)
+	}
+	if topo.ServersUnder("bogus") != nil {
+		t.Error("unknown id should return nil")
+	}
+}
+
+func TestDevicesOrder(t *testing.T) {
+	topo := DefaultSpec().MustBuild()
+	devs := topo.Devices()
+	lastRank := -1
+	rank := map[Kind]int{KindMSB: 0, KindSB: 1, KindRPP: 2, KindRack: 3}
+	for _, d := range devs {
+		r, ok := rank[d.Kind]
+		if !ok {
+			t.Fatalf("non-device %v in Devices()", d.Kind)
+		}
+		if r < lastRank {
+			t.Fatal("Devices() not ordered top-down")
+		}
+		lastRank = r
+	}
+}
+
+func TestServicesPresent(t *testing.T) {
+	topo := DefaultSpec().MustBuild()
+	got := topo.ServicesPresent()
+	want := []string{"cache", "database", "f4storage", "hadoop", "newsfeed", "web"}
+	if len(got) != len(want) {
+		t.Fatalf("services = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("services = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewRejectsDuplicateIDs(t *testing.T) {
+	a := &Node{ID: "x", Kind: KindDatacenter}
+	b := &Node{ID: "x", Kind: KindMSB, Parent: a}
+	a.Children = []*Node{b}
+	if _, err := New(a); err == nil {
+		t.Fatal("expected duplicate-ID error")
+	}
+}
+
+func TestNewRejectsBadParentPointer(t *testing.T) {
+	a := &Node{ID: "a", Kind: KindDatacenter}
+	b := &Node{ID: "b", Kind: KindMSB} // parent not set
+	a.Children = []*Node{b}
+	if _, err := New(a); err == nil {
+		t.Fatal("expected parent-pointer error")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	bad := DefaultSpec()
+	bad.MSBs = 0
+	if _, err := bad.Build(); err == nil {
+		t.Error("zero fan-out should fail")
+	}
+	bad = DefaultSpec()
+	bad.Services = nil
+	if _, err := bad.Build(); err == nil {
+		t.Error("no services should fail")
+	}
+	bad = DefaultSpec()
+	bad.Services = []ServiceShare{{Service: "x", Weight: -1}}
+	if _, err := bad.Build(); err == nil {
+		t.Error("negative weight should fail")
+	}
+	bad = DefaultSpec()
+	bad.Services = []ServiceShare{{Service: "x", Weight: 0}}
+	if _, err := bad.Build(); err == nil {
+		t.Error("zero total weight should fail")
+	}
+}
+
+func TestScaleReachesTarget(t *testing.T) {
+	spec := DefaultSpec().Scale(5000)
+	if got := spec.NumServers(); got < 5000 {
+		t.Errorf("scaled servers = %d, want >= 5000", got)
+	}
+}
+
+// Property: scaling to any positive target yields at least that many
+// servers and a buildable spec.
+func TestScaleProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		target := int(n%8000) + 1
+		spec := DefaultSpec().Scale(target)
+		if spec.NumServers() < target {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullSpecIsLarge(t *testing.T) {
+	spec := FullSpec()
+	if spec.NumServers() < 30000 {
+		t.Errorf("full spec servers = %d, want >= 30000", spec.NumServers())
+	}
+	// Build it to make sure a full DC constructs quickly and validates.
+	topo := spec.MustBuild()
+	if topo.NumNodes() < spec.NumServers() {
+		t.Error("node count inconsistent")
+	}
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uvarint(0)
+	e.Uvarint(1 << 40)
+	e.Varint(-12345)
+	e.Uint32(0xdeadbeef)
+	e.Float64(math.Pi)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("hello, 世界")
+	e.Bytes2([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := d.Varint(); got != -12345 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := d.Uint32(); got != 0xdeadbeef {
+		t.Errorf("uint32 = %x", got)
+	}
+	if got := d.Float64(); got != math.Pi {
+		t.Errorf("float64 = %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("bool round trip failed")
+	}
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("string = %q", got)
+	}
+	if got := d.Bytes2(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes = %v", got)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Float64(1.5)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Float64()
+		if !errors.Is(d.Err(), ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, d.Err())
+		}
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Uvarint() // fails
+	if d.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// Subsequent reads return zero values without panicking.
+	if d.Float64() != 0 || d.Bool() || d.String() != "" || d.Bytes2() != nil ||
+		d.Uint32() != 0 || d.Varint() != 0 || d.Uvarint() != 0 {
+		t.Error("reads after error should return zero values")
+	}
+}
+
+func TestStringLengthLimit(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uvarint(MaxStringLen + 1)
+	d := NewDecoder(e.Bytes())
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("oversized string length should fail")
+	}
+	d2 := NewDecoder(e.Bytes())
+	_ = d2.Bytes2()
+	if d2.Err() == nil {
+		t.Fatal("oversized bytes length should fail")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("abc")
+	n := e.Len()
+	e.Reset()
+	if e.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+	e.String("abc")
+	if e.Len() != n {
+		t.Error("reuse after reset differs")
+	}
+}
+
+type testMsg struct {
+	A uint64
+	B string
+	C float64
+	D bool
+}
+
+func (m *testMsg) MarshalWire(e *Encoder) {
+	e.Uvarint(m.A)
+	e.String(m.B)
+	e.Float64(m.C)
+	e.Bool(m.D)
+}
+
+func (m *testMsg) UnmarshalWire(d *Decoder) error {
+	m.A = d.Uvarint()
+	m.B = d.String()
+	m.C = d.Float64()
+	m.D = d.Bool()
+	return d.Err()
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	in := &testMsg{A: 42, B: "x", C: -1.25, D: true}
+	buf := Marshal(in)
+	var out testMsg
+	if err := Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != *in {
+		t.Errorf("round trip = %+v, want %+v", out, *in)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	in := &testMsg{A: 42, B: "hello", C: 1, D: true}
+	buf := Marshal(in)
+	var out testMsg
+	if err := Unmarshal(buf[:3], &out); err == nil {
+		t.Fatal("truncated unmarshal should fail")
+	}
+}
+
+// Property: varint and string round trips are lossless for arbitrary data.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(u uint64, i int64, s string, b []byte, fl float64) bool {
+		e := NewEncoder(nil)
+		e.Uvarint(u)
+		e.Varint(i)
+		e.String(s)
+		e.Bytes2(b)
+		e.Float64(fl)
+		d := NewDecoder(e.Bytes())
+		gu := d.Uvarint()
+		gi := d.Varint()
+		gs := d.String()
+		gb := d.Bytes2()
+		gf := d.Float64()
+		if d.Err() != nil {
+			return false
+		}
+		sameF := gf == fl || (math.IsNaN(gf) && math.IsNaN(fl))
+		return gu == u && gi == i && gs == s && bytes.Equal(gb, b) && sameF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
