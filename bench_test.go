@@ -20,6 +20,7 @@ import (
 	"dynamo/internal/server"
 	"dynamo/internal/sim"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
 	"dynamo/internal/wire"
 	"dynamo/internal/workload"
@@ -406,6 +407,51 @@ func (p benchPlatform) ReadPower() (server.Breakdown, error) {
 func (p benchPlatform) SetPowerLimit(w power.Watts) error { p.h.SetLimit(w); return nil }
 func (p benchPlatform) ClearPowerLimit() error            { p.h.ClearLimit(); return nil }
 func (p benchPlatform) PowerLimit() (power.Watts, bool)   { return p.h.Limit() }
+
+// BenchmarkTelemetryOverhead quantifies the telemetry subsystem's hot-path
+// cost: an enabled counter increment / histogram observation versus the
+// nil-sink (disabled) path the simulator and benchmarks run with. The
+// disabled path must be allocation-free — the controllers' contract for
+// keeping deterministic runs byte-identical with telemetry off.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("counter-inc-enabled", func(b *testing.B) {
+		s := telemetry.NewSink()
+		c := s.Counter("bench_total", "device", "rpp1")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-observe-enabled", func(b *testing.B) {
+		s := telemetry.NewSink()
+		h := s.Histogram("bench_seconds", nil, "device", "rpp1")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.003)
+		}
+	})
+	b.Run("nil-sink-disabled", func(b *testing.B) {
+		var s *telemetry.Sink
+		c := s.Counter("bench_total")
+		g := s.Gauge("bench_watts")
+		h := s.Histogram("bench_seconds", nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			g.Set(float64(i))
+			h.Observe(0.003)
+		}
+	})
+	// The disabled path must not allocate — assert, not just report.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		var c *telemetry.Counter
+		var h *telemetry.Histogram
+		c.Inc()
+		h.Observe(1)
+	}); allocs != 0 {
+		b.Fatalf("nil-sink path allocates %.1f per op, want 0", allocs)
+	}
+}
 
 // BenchmarkAblationPIDVsThreeBand compares the default three-band control
 // against the PID alternative (the paper's future-work algorithm): PID

@@ -8,7 +8,11 @@
 // Usage:
 //
 //	dynamo-agentd -listen :7080 -id srv001 -service web \
-//	              -generation haswell2015 -load 0.6 -platform msr
+//	              -generation haswell2015 -load 0.6 -platform msr \
+//	              -metrics-addr :9091
+//
+// With -metrics-addr set, the daemon exposes Prometheus metrics at
+// /metrics, a JSON agent snapshot at /debug/state, and /healthz.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"dynamo/internal/rpc"
 	"dynamo/internal/server"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/workload"
 )
 
@@ -35,11 +40,14 @@ func main() {
 	load := flag.Float64("load", -1, "fixed offered load; -1 uses the service workload model")
 	platName := flag.String("platform", "msr", "platform backend: msr, ipmi, or estimated")
 	seed := flag.Int64("seed", 1, "seed for workload and sensor noise")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP exposition address for /metrics, /debug/state, /healthz (empty: disabled)")
 	flag.Parse()
+
+	logger := telemetry.NewLogger(os.Stdout, "dynamo-agentd")
 
 	model, err := server.LookupModel(*generation)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 
 	var source server.LoadSource
@@ -49,7 +57,7 @@ func main() {
 	} else {
 		prof, err := workload.Lookup(*service)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 		shared := workload.NewShared(prof, *seed)
 		source = workload.NewGenerator(shared, *seed+1)
@@ -69,10 +77,10 @@ func main() {
 		em := platform.Calibrate(model, 21, 1.0, *seed)
 		plat, err = platform.NewEstimated(host, em, platform.Options{Seed: *seed})
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 	default:
-		fatal(fmt.Errorf("unknown platform %q", *platName))
+		fatal(logger, fmt.Errorf("unknown platform %q", *platName))
 	}
 
 	loop := simclock.NewWallLoop()
@@ -80,31 +88,63 @@ func main() {
 	ticker := simclock.NewTicker(loop, time.Second, func() { host.Tick(loop.Now()) })
 	loop.Post(ticker.Start)
 
+	var sink *telemetry.Sink
+	if *metricsAddr != "" {
+		sink = telemetry.NewSink()
+	}
+
 	ag := agent.New(*id, *service, *generation, plat)
+	ag.SetTelemetry(sink)
 	srv := rpc.NewTCPServer(rpc.LoopHandler(loop, ag.Handler()))
+	srv.SetTelemetry(sink)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	defer srv.Close()
-	fmt.Printf("dynamo-agentd %s (%s/%s, %s platform) listening on %s\n",
-		*id, *service, *generation, *platName, addr)
+	logger.Log(telemetry.LevelInfo, "listening",
+		"id", *id, "service", *service, "generation", *generation,
+		"platform", *platName, "addr", addr)
+
+	if *metricsAddr != "" {
+		state := func() interface{} {
+			var st map[string]interface{}
+			loop.Call(func() {
+				lim, capped := plat.PowerLimit()
+				reads, caps, uncaps, errs := ag.Stats()
+				st = map[string]interface{}{
+					"id": *id, "service": *service, "generation": *generation,
+					"power_watts": float64(host.Power()),
+					"capped":      capped, "limit_watts": float64(lim),
+					"reads": reads, "caps": caps, "uncaps": uncaps, "errors": errs,
+				}
+			})
+			return st
+		}
+		hs, err := telemetry.Serve(*metricsAddr, sink, state)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer hs.Close()
+		logger.Log(telemetry.LevelInfo, "metrics exposition up", "addr", hs.Addr())
+	}
 
 	status := simclock.NewTicker(loop, 30*time.Second, func() {
 		reads, caps, uncaps, errs := ag.Stats()
 		lim, capped := plat.PowerLimit()
-		fmt.Printf("[%v] power=%v capped=%v limit=%v reads=%d caps=%d uncaps=%d errs=%d\n",
-			loop.Now().Round(time.Second), host.Power(), capped, lim, reads, caps, uncaps, errs)
+		logger.Log(telemetry.LevelInfo, "status",
+			"power", host.Power(), "capped", capped, "limit", lim,
+			"reads", reads, "caps", caps, "uncaps", uncaps, "errs", errs)
 	})
 	loop.Post(status.Start)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	logger.Log(telemetry.LevelInfo, "shutting down")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
+func fatal(logger *telemetry.Logger, err error) {
+	logger.Log(telemetry.LevelError, err.Error())
 	os.Exit(1)
 }

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	dynamo-controllerd -device rpp1 -limit 5000 -listen :7090 \
-//	    -agents "srv001=web@127.0.0.1:7080,srv002=web@127.0.0.1:7081"
+//	    -agents "srv001=web@127.0.0.1:7080,srv002=web@127.0.0.1:7081" \
+//	    -metrics-addr :9090
+//
+// With -metrics-addr set, the daemon exposes Prometheus metrics at
+// /metrics, a JSON controller snapshot at /debug/state, and a liveness
+// probe at /healthz.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 )
 
 func main() {
@@ -32,14 +38,22 @@ func main() {
 	quota := flag.Float64("quota", 0, "power quota in watts (0: none)")
 	agents := flag.String("agents", "", "comma-separated id=service@host:port agent list")
 	dryRun := flag.Bool("dry-run", false, "compute capping plans without actuating")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP exposition address for /metrics, /debug/state, /healthz (empty: disabled)")
 	flag.Parse()
+
+	logger := telemetry.NewLogger(os.Stdout, "dynamo-controllerd")
 
 	loop := simclock.NewWallLoop()
 	defer loop.Close()
 
-	refs, closers, err := dialAgents(*agents, loop)
+	var sink *telemetry.Sink
+	if *metricsAddr != "" {
+		sink = telemetry.NewSink()
+	}
+
+	refs, closers, err := dialAgents(*agents, loop, sink)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	defer func() {
 		for _, c := range closers {
@@ -48,68 +62,106 @@ func main() {
 	}()
 
 	leaf := core.NewLeaf(loop, core.LeafConfig{
-		DeviceID: *device,
-		Limit:    power.Watts(*limit),
-		Quota:    power.Watts(*quota),
-		DryRun:   *dryRun,
-		Alerts: func(a core.Alert) {
-			fmt.Printf("ALERT %v\n", a)
-		},
+		DeviceID:  *device,
+		Limit:     power.Watts(*limit),
+		Quota:     power.Watts(*quota),
+		DryRun:    *dryRun,
+		Telemetry: sink,
+		Alerts:    alertLogger(logger),
 	}, refs)
 	loop.Post(leaf.Start)
 
 	srv := rpc.NewTCPServer(rpc.LoopHandler(loop, leaf.Handler()))
+	srv.SetTelemetry(sink)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	defer srv.Close()
-	fmt.Printf("dynamo-controllerd %s (limit %v, %d agents) listening on %s\n",
-		*device, power.Watts(*limit), len(refs), addr)
+	logger.Log(telemetry.LevelInfo, "listening",
+		"device", *device, "limit", power.Watts(*limit), "agents", len(refs), "addr", addr)
+
+	if *metricsAddr != "" {
+		state := func() interface{} {
+			var st core.ControllerStatus
+			loop.Call(func() { st = leaf.Status(32) })
+			return st
+		}
+		hs, err := telemetry.Serve(*metricsAddr, sink, state)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer hs.Close()
+		logger.Log(telemetry.LevelInfo, "metrics exposition up", "addr", hs.Addr())
+	}
 
 	status := simclock.NewTicker(loop, 15*time.Second, func() {
 		agg, valid := leaf.LastAggregate()
-		fmt.Printf("[%v] agg=%v valid=%v capped=%d cycles=%d effLimit=%v\n",
-			loop.Now().Round(time.Second), agg, valid, leaf.CappedCount(),
-			leaf.Cycles(), leaf.EffectiveLimit())
+		logger.Log(telemetry.LevelInfo, "status",
+			"agg", agg, "valid", valid, "capped", leaf.CappedCount(),
+			"cycles", leaf.Cycles(), "effLimit", leaf.EffectiveLimit())
 	})
 	loop.Post(status.Start)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	logger.Log(telemetry.LevelInfo, "shutting down")
 	loop.Call(leaf.Stop)
 }
 
+// alertLogger routes controller alerts to the structured log with their
+// severity and loop timestamp (wall time is stamped by the logger).
+func alertLogger(logger *telemetry.Logger) core.AlertFunc {
+	return func(a core.Alert) {
+		lvl := telemetry.LevelInfo
+		switch a.Level {
+		case core.AlertWarning:
+			lvl = telemetry.LevelWarning
+		case core.AlertCritical:
+			lvl = telemetry.LevelError
+		}
+		logger.Log(lvl, a.Msg, "alert", a.Level, "controller", a.Controller, "uptime", a.Time)
+	}
+}
+
 // dialAgents parses "id=service@host:port,..." and connects each agent.
-func dialAgents(list string, loop simclock.Loop) ([]core.AgentRef, []rpc.Client, error) {
+// On any error, every connection dialed so far is closed before returning:
+// a half-assembled controller must not leak sockets.
+func dialAgents(list string, loop simclock.Loop, sink *telemetry.Sink) ([]core.AgentRef, []rpc.Client, error) {
 	var refs []core.AgentRef
 	var closers []rpc.Client
 	if strings.TrimSpace(list) == "" {
 		return refs, closers, nil
 	}
+	fail := func(err error) ([]core.AgentRef, []rpc.Client, error) {
+		for _, c := range closers {
+			c.Close()
+		}
+		return nil, nil, err
+	}
 	for _, entry := range strings.Split(list, ",") {
 		entry = strings.TrimSpace(entry)
 		idSvc, addr, ok := strings.Cut(entry, "@")
 		if !ok {
-			return nil, nil, fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry)
+			return fail(fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry))
 		}
 		id, svc, ok := strings.Cut(idSvc, "=")
 		if !ok {
-			return nil, nil, fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry)
+			return fail(fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry))
 		}
 		cl, err := rpc.DialTCP(addr, loop)
 		if err != nil {
-			return nil, nil, fmt.Errorf("dial %s: %w", addr, err)
+			return fail(fmt.Errorf("dial %s: %w", addr, err))
 		}
+		cl.SetTelemetry(sink)
 		closers = append(closers, cl)
 		refs = append(refs, core.AgentRef{ServerID: id, Service: svc, Client: cl})
 	}
 	return refs, closers, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
+func fatal(logger *telemetry.Logger, err error) {
+	logger.Log(telemetry.LevelError, err.Error())
 	os.Exit(1)
 }

@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	dynamo-suited -config suite.json
+//	dynamo-suited -config suite.json -metrics-addr :9090
 //
 // Controllers with a "listen" address in the config are additionally
 // exposed over TCP so an out-of-suite parent (e.g. the MSB controller in
-// another binary) can pull them.
+// another binary) can pull them. With -metrics-addr set, the daemon
+// exposes Prometheus metrics for every controller at /metrics, a JSON
+// snapshot of the whole suite at /debug/state, and /healthz.
 package main
 
 import (
@@ -27,26 +29,40 @@ import (
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
 	"dynamo/internal/suite"
+	"dynamo/internal/telemetry"
 )
 
 func main() {
 	path := flag.String("config", "suite.json", "suite configuration file")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP exposition address for /metrics, /debug/state, /healthz (empty: disabled)")
 	flag.Parse()
+
+	logger := telemetry.NewLogger(os.Stdout, "dynamo-suited")
 
 	cfg, err := config.Load(*path)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 
 	loop := simclock.NewWallLoop()
 	defer loop.Close()
 
-	dial := func(addr string) (rpc.Client, error) { return rpc.DialTCP(addr, loop) }
-	asm, err := suite.Build(loop, cfg, dial, func(a core.Alert) {
-		fmt.Printf("ALERT %v\n", a)
-	})
+	var sink *telemetry.Sink
+	if *metricsAddr != "" {
+		sink = telemetry.NewSink()
+	}
+
+	dial := func(addr string) (rpc.Client, error) {
+		cl, err := rpc.DialTCP(addr, loop)
+		if err != nil {
+			return nil, err
+		}
+		cl.SetTelemetry(sink)
+		return cl, nil
+	}
+	asm, err := suite.Build(loop, cfg, dial, alertLogger(logger), sink)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 
 	// Expose controllers that declare a listen address.
@@ -57,12 +73,13 @@ func main() {
 		}
 		ctrl := asm.Controller(c.Device)
 		srv := rpc.NewTCPServer(rpc.LoopHandler(loop, ctrl.Handler()))
+		srv.SetTelemetry(sink)
 		addr, err := srv.Listen(c.Listen)
 		if err != nil {
-			fatal(fmt.Errorf("listen for %s: %w", c.Device, err))
+			fatal(logger, fmt.Errorf("listen for %s: %w", c.Device, err))
 		}
 		servers = append(servers, srv)
-		fmt.Printf("%s exposed on %s\n", c.Device, addr)
+		logger.Log(telemetry.LevelInfo, "controller exposed", "device", c.Device, "addr", addr)
 	}
 	defer func() {
 		for _, s := range servers {
@@ -71,19 +88,34 @@ func main() {
 	}()
 
 	loop.Post(asm.StartAll)
-	fmt.Printf("dynamo-suited %q: %d controllers consolidated (%d leaves, %d uppers)\n",
-		cfg.Name, asm.NumControllers(), len(asm.Leaves), len(asm.Uppers))
+	logger.Log(telemetry.LevelInfo, "suite consolidated",
+		"suite", cfg.Name, "controllers", asm.NumControllers(),
+		"leaves", len(asm.Leaves), "uppers", len(asm.Uppers))
+
+	if *metricsAddr != "" {
+		state := func() interface{} {
+			var st []core.ControllerStatus
+			loop.Call(func() { st = asm.Status(32) })
+			return map[string]interface{}{"suite": cfg.Name, "controllers": st}
+		}
+		hs, err := telemetry.Serve(*metricsAddr, sink, state)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer hs.Close()
+		logger.Log(telemetry.LevelInfo, "metrics exposition up", "addr", hs.Addr())
+	}
 
 	status := simclock.NewTicker(loop, 15*time.Second, func() {
 		for dev, leaf := range asm.Leaves {
 			agg, valid := leaf.LastAggregate()
-			fmt.Printf("[%v] %-12s agg=%v valid=%v capped=%d\n",
-				loop.Now().Round(time.Second), dev, agg, valid, leaf.CappedCount())
+			logger.Log(telemetry.LevelInfo, "status", "device", dev,
+				"agg", agg, "valid", valid, "capped", leaf.CappedCount())
 		}
 		for dev, up := range asm.Uppers {
 			agg, valid := up.LastAggregate()
-			fmt.Printf("[%v] %-12s agg=%v valid=%v contracted=%v\n",
-				loop.Now().Round(time.Second), dev, agg, valid, up.ContractedChildren())
+			logger.Log(telemetry.LevelInfo, "status", "device", dev,
+				"agg", agg, "valid", valid, "contracted", up.ContractedChildren())
 		}
 	})
 	loop.Post(status.Start)
@@ -91,11 +123,26 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	logger.Log(telemetry.LevelInfo, "shutting down")
 	loop.Call(asm.StopAll)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
+// alertLogger routes controller alerts to the structured log with their
+// severity and loop timestamp (wall time is stamped by the logger).
+func alertLogger(logger *telemetry.Logger) core.AlertFunc {
+	return func(a core.Alert) {
+		lvl := telemetry.LevelInfo
+		switch a.Level {
+		case core.AlertWarning:
+			lvl = telemetry.LevelWarning
+		case core.AlertCritical:
+			lvl = telemetry.LevelError
+		}
+		logger.Log(lvl, a.Msg, "alert", a.Level, "controller", a.Controller, "uptime", a.Time)
+	}
+}
+
+func fatal(logger *telemetry.Logger, err error) {
+	logger.Log(telemetry.LevelError, err.Error())
 	os.Exit(1)
 }

@@ -3,10 +3,12 @@ package agent
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dynamo/internal/platform"
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/wire"
 )
 
@@ -24,6 +26,33 @@ type Agent struct {
 	caps   uint64
 	uncaps uint64
 	errs   uint64
+
+	tel *agentInstr // nil when telemetry is disabled
+}
+
+// agentInstr holds one agent's telemetry instruments. Handles are fetched
+// once; the request path is atomic increments plus two clock reads.
+type agentInstr struct {
+	reads, caps, uncaps, errs *telemetry.Counter
+	readDur, capDur           *telemetry.Histogram
+}
+
+// SetTelemetry attaches metric instruments to this agent, labeled by
+// server ID. Call before the agent starts serving requests; a nil or
+// disabled sink leaves telemetry off (no per-request clock reads).
+func (a *Agent) SetTelemetry(s *telemetry.Sink) {
+	if !s.Enabled() {
+		return
+	}
+	lb := []string{"server", a.id}
+	a.tel = &agentInstr{
+		reads:   s.Counter("dynamo_agent_reads_total", lb...),
+		caps:    s.Counter("dynamo_agent_caps_total", lb...),
+		uncaps:  s.Counter("dynamo_agent_uncaps_total", lb...),
+		errs:    s.Counter("dynamo_agent_errors_total", lb...),
+		readDur: s.Histogram("dynamo_agent_read_duration_seconds", nil, lb...),
+		capDur:  s.Histogram("dynamo_agent_cap_duration_seconds", nil, lb...),
+	}
 }
 
 // New creates an agent for a server.
@@ -48,6 +77,18 @@ func (a *Agent) count(c *uint64) {
 	a.mu.Lock()
 	*c++
 	a.mu.Unlock()
+	if a.tel != nil {
+		switch c {
+		case &a.reads:
+			a.tel.reads.Inc()
+		case &a.caps:
+			a.tel.caps.Inc()
+		case &a.uncaps:
+			a.tel.uncaps.Inc()
+		case &a.errs:
+			a.tel.errs.Inc()
+		}
+	}
 }
 
 // Handler returns the RPC dispatch function for this agent.
@@ -78,6 +119,10 @@ func (a *Agent) Handler() rpc.Handler {
 }
 
 func (a *Agent) readPower() (wire.Message, error) {
+	if a.tel != nil {
+		start := time.Now()
+		defer func() { a.tel.readDur.Observe(time.Since(start).Seconds()) }()
+	}
 	b, err := a.plat.ReadPower()
 	if err != nil {
 		a.count(&a.errs)
@@ -101,6 +146,10 @@ func (a *Agent) readPower() (wire.Message, error) {
 }
 
 func (a *Agent) setCap(limitWatts float64) (wire.Message, error) {
+	if a.tel != nil {
+		start := time.Now()
+		defer func() { a.tel.capDur.Observe(time.Since(start).Seconds()) }()
+	}
 	if limitWatts <= 0 {
 		a.count(&a.errs)
 		return &CapResponse{OK: false, Msg: "non-positive power limit"}, nil
@@ -114,6 +163,10 @@ func (a *Agent) setCap(limitWatts float64) (wire.Message, error) {
 }
 
 func (a *Agent) clearCap() (wire.Message, error) {
+	if a.tel != nil {
+		start := time.Now()
+		defer func() { a.tel.capDur.Observe(time.Since(start).Seconds()) }()
+	}
 	if err := a.plat.ClearPowerLimit(); err != nil {
 		a.count(&a.errs)
 		return &CapResponse{OK: false, Msg: err.Error()}, nil

@@ -6,6 +6,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
 )
 
@@ -41,6 +42,8 @@ type HierarchyConfig struct {
 	// Validators, when set, supplies a per-device breaker-reading
 	// cross-check for leaf controllers.
 	Validators func(id topology.NodeID) func() (power.Watts, bool)
+	// Telemetry propagates to every controller (nil disables).
+	Telemetry *telemetry.Sink
 }
 
 // Hierarchy is a built controller tree mirroring the power topology
@@ -124,6 +127,7 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 			NonServerDraw: nonServer,
 			DryRun:        cfg.DryRun,
 			Alerts:        cfg.Alerts,
+			Telemetry:     cfg.Telemetry,
 		}
 		if cfg.Validators != nil {
 			lcfg.Validator = cfg.Validators(node.ID)
@@ -152,12 +156,13 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 				})
 			}
 			ucfg := UpperConfig{
-				DeviceID: string(node.ID),
-				Limit:    node.Rating,
-				Quota:    node.Quota,
-				Bands:    cfg.Bands,
-				DryRun:   cfg.DryRun,
-				Alerts:   cfg.Alerts,
+				DeviceID:  string(node.ID),
+				Limit:     node.Rating,
+				Quota:     node.Quota,
+				Bands:     cfg.Bands,
+				DryRun:    cfg.DryRun,
+				Alerts:    cfg.Alerts,
+				Telemetry: cfg.Telemetry,
 			}
 			up := NewUpper(loop, ucfg, children)
 			h.Uppers[node.ID] = up

@@ -9,6 +9,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/wire"
 )
 
@@ -58,6 +59,11 @@ type LeafConfig struct {
 	PID PIDConfig
 	// Alerts receives operator alerts.
 	Alerts AlertFunc
+	// Telemetry, when set, receives operational metrics and decision trace
+	// events. nil (the default) disables telemetry entirely: the control
+	// cycle performs no telemetry work, keeping the simulation path
+	// byte-identical and allocation-free.
+	Telemetry *telemetry.Sink
 }
 
 func (c *LeafConfig) fillDefaults() {
@@ -141,6 +147,11 @@ type Leaf struct {
 
 	capEvents   uint64
 	uncapEvents uint64
+
+	// telemetry (nil when disabled)
+	tel          *ctrlInstr
+	cycleStartAt time.Duration
+	lastAction   Action
 }
 
 // NewLeaf creates a leaf controller over the given agents.
@@ -155,6 +166,8 @@ func NewLeaf(loop simclock.Loop, cfg LeafConfig, agents []AgentRef) *Leaf {
 		journal:       NewJournal(512),
 		lastService:   map[string]power.Watts{},
 	}
+	l.tel = newCtrlInstr(cfg.Telemetry, cfg.DeviceID, "leaf")
+	l.cfg.Alerts = l.tel.wrapAlerts(l.cfg.Alerts)
 	for _, a := range agents {
 		l.agents[a.ServerID] = &agentState{
 			id: a.ServerID, client: a.Client,
@@ -206,6 +219,9 @@ func (l *Leaf) CappedCount() int {
 
 // CapEvents returns how many capping actions this controller has taken.
 func (l *Leaf) CapEvents() uint64 { return l.capEvents }
+
+// UncapEvents returns how many uncap actions this controller has taken.
+func (l *Leaf) UncapEvents() uint64 { return l.uncapEvents }
 
 // ServiceBreakdown returns the last cycle's per-service power.
 func (l *Leaf) ServiceBreakdown() map[string]power.Watts {
@@ -281,6 +297,10 @@ func (l *Leaf) pollCycle() {
 	}
 	l.cycleSeq++
 	seq := l.cycleSeq
+	if l.tel != nil {
+		l.cycleStartAt = l.loop.Now()
+		l.tel.cycleStart(l.cycles+1, l.cycleStartAt)
+	}
 	l.inflight = len(l.order)
 	if l.inflight == 0 {
 		l.finishCycle()
@@ -299,6 +319,9 @@ func (l *Leaf) pollCycle() {
 func (l *Leaf) onPull(seq uint64, st *agentState, resp []byte, err error) {
 	if seq != l.cycleSeq {
 		return // stale response from a superseded cycle
+	}
+	if err != nil && l.tel != nil {
+		l.tel.rpcFailure(l.cycles+1, l.loop.Now(), st.id, "power pull", err)
 	}
 	if err == nil {
 		var r agent.ReadPowerResponse
@@ -370,6 +393,9 @@ func (l *Leaf) finishCycle() {
 		// Too many failures: the aggregation is invalid; take no action
 		// and alert for human intervention (paper §III-C1, §III-E).
 		l.lastValid = false
+		if l.tel != nil {
+			l.tel.invalidCycle(l.cycles, l.cycleStartAt, now, failures, len(l.order))
+		}
 		l.cfg.Alerts.emit(now, AlertCritical, l.cfg.DeviceID,
 			"power aggregation invalid: %d/%d pulls failed (%.0f%% > %.0f%%)",
 			failures, len(l.order), failFrac*100, l.cfg.MaxFailureFrac*100)
@@ -400,6 +426,10 @@ func (l *Leaf) finishCycle() {
 		Failures: failures, EffLimit: l.EffectiveLimit(),
 		Action: action, DryRun: l.cfg.DryRun,
 	}
+	if l.tel != nil && action != l.lastAction {
+		l.tel.transition(l.cycles, now, l.lastAction, action)
+	}
+	l.lastAction = action
 	switch action {
 	case ActionCap:
 		rec.Target = target
@@ -408,6 +438,9 @@ func (l *Leaf) finishCycle() {
 		l.doUncap(now)
 	}
 	l.journal.Add(rec)
+	if l.tel != nil {
+		l.tel.cycleEnd(l.cycles, l.cycleStartAt, now, agg, l.EffectiveLimit(), l.CappedCount(), action)
+	}
 }
 
 // Journal returns the controller's decision log (oldest-first ring).
@@ -450,6 +483,9 @@ func (l *Leaf) doCap(now time.Duration, agg, target power.Watts) (planned int, a
 		})
 	}
 	plan := ComputePlan(snapshot, totalCut, l.cfg.Priorities)
+	if l.tel != nil {
+		l.tel.capPlan(l.cycles, now, len(plan.Caps), plan.Achieved, plan.Shortfall, l.cfg.DryRun)
+	}
 	if plan.Shortfall > 0 {
 		l.cfg.Alerts.emit(now, AlertCritical, l.cfg.DeviceID,
 			"capping plan short by %v (SLA floors reached)", plan.Shortfall)
@@ -466,7 +502,10 @@ func (l *Leaf) doCap(now time.Duration, agg, target power.Watts) (planned int, a
 		capVal := pc.Cap
 		st.client.Call(agent.MethodSetCap, req, l.cfg.PullTimeout, func(resp []byte, err error) {
 			var ack agent.CapResponse
-			if rpc.Decode(resp, err, &ack) != nil || !ack.OK {
+			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
+				if l.tel != nil {
+					l.tel.rpcFailure(l.cycles, l.loop.Now(), st.id, "cap command", derr)
+				}
 				l.cfg.Alerts.emit(l.loop.Now(), AlertWarning, l.cfg.DeviceID,
 					"cap command to %s failed", st.id)
 				return
@@ -492,7 +531,10 @@ func (l *Leaf) doUncap(now time.Duration) {
 		}
 		st.client.Call(agent.MethodClearCap, rpc.Empty, l.cfg.PullTimeout, func(resp []byte, err error) {
 			var ack agent.CapResponse
-			if rpc.Decode(resp, err, &ack) != nil || !ack.OK {
+			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
+				if l.tel != nil {
+					l.tel.rpcFailure(l.cycles, l.loop.Now(), st.id, "uncap command", derr)
+				}
 				l.cfg.Alerts.emit(l.loop.Now(), AlertWarning, l.cfg.DeviceID,
 					"uncap command to %s failed", st.id)
 				return
@@ -522,9 +564,15 @@ func (l *Leaf) Handler() rpc.Handler {
 				return nil, err
 			}
 			l.contract = power.Watts(req.LimitWatts)
+			if l.tel != nil {
+				l.tel.contractReceived(l.loop.Now(), l.contract)
+			}
 			return &AckResponse{OK: true}, nil
 		case MethodCtrlClearContract:
 			l.contract = 0
+			if l.tel != nil {
+				l.tel.contractReceived(l.loop.Now(), 0)
+			}
 			return &AckResponse{OK: true}, nil
 		case MethodCtrlPing:
 			return &CtrlPingResponse{Healthy: l.Running(), Cycles: l.cycles}, nil

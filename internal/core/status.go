@@ -1,0 +1,121 @@
+package core
+
+// DecisionSummary is a JSON-friendly projection of a DecisionRecord, used
+// by the /debug/state exposition endpoint.
+type DecisionSummary struct {
+	Cycle          uint64  `json:"cycle"`
+	TimeSeconds    float64 `json:"time_seconds"`
+	AggWatts       float64 `json:"agg_watts"`
+	Valid          bool    `json:"valid"`
+	Failures       int     `json:"failures,omitempty"`
+	EffLimitWatts  float64 `json:"effective_limit_watts"`
+	Action         string  `json:"action"`
+	TargetWatts    float64 `json:"target_watts,omitempty"`
+	ServersPlanned int     `json:"servers_planned,omitempty"`
+	AchievedWatts  float64 `json:"achieved_watts,omitempty"`
+	ShortfallWatts float64 `json:"shortfall_watts,omitempty"`
+	DryRun         bool    `json:"dry_run,omitempty"`
+}
+
+func summarize(rec DecisionRecord) DecisionSummary {
+	return DecisionSummary{
+		Cycle:          rec.Cycle,
+		TimeSeconds:    rec.Time.Seconds(),
+		AggWatts:       float64(rec.Agg),
+		Valid:          rec.Valid,
+		Failures:       rec.Failures,
+		EffLimitWatts:  float64(rec.EffLimit),
+		Action:         rec.Action.String(),
+		TargetWatts:    float64(rec.Target),
+		ServersPlanned: rec.ServersPlanned,
+		AchievedWatts:  float64(rec.Achieved),
+		ShortfallWatts: float64(rec.Shortfall),
+		DryRun:         rec.DryRun,
+	}
+}
+
+// lastDecisions returns the journal's newest records (up to lastN,
+// oldest-first) as summaries. lastN <= 0 means all retained records.
+func lastDecisions(j *Journal, lastN int) []DecisionSummary {
+	recs := j.Records()
+	if lastN > 0 && len(recs) > lastN {
+		recs = recs[len(recs)-lastN:]
+	}
+	out := make([]DecisionSummary, len(recs))
+	for i, r := range recs {
+		out[i] = summarize(r)
+	}
+	return out
+}
+
+// ControllerStatus is a point-in-time snapshot of one controller, shaped
+// for JSON exposition. Status methods are loop-confined like everything
+// else on the controllers: call them from a loop callback (WallLoop.Call
+// in the daemons).
+type ControllerStatus struct {
+	Device        string  `json:"device"`
+	Level         string  `json:"level"` // "leaf" or "upper"
+	Running       bool    `json:"running"`
+	Cycles        uint64  `json:"cycles"`
+	AggWatts      float64 `json:"agg_watts"`
+	Valid         bool    `json:"valid"`
+	LimitWatts    float64 `json:"limit_watts"`
+	EffLimitWatts float64 `json:"effective_limit_watts"`
+	ContractWatts float64 `json:"contract_watts,omitempty"`
+	// CappedServers counts capped servers (leaf) or contracted children
+	// (upper).
+	CappedServers int      `json:"capped_servers"`
+	CapEvents     uint64   `json:"cap_events"`
+	UncapEvents   uint64   `json:"uncap_events"`
+	Contracted    []string `json:"contracted_children,omitempty"`
+	// ServiceWatts is the leaf's per-service power breakdown.
+	ServiceWatts map[string]float64 `json:"service_watts,omitempty"`
+	// Decisions holds the most recent decision records, oldest-first.
+	Decisions []DecisionSummary `json:"decisions,omitempty"`
+}
+
+// Status snapshots the leaf controller with its last lastN decision
+// records (lastN <= 0 returns all retained records). Loop-confined.
+func (l *Leaf) Status(lastN int) ControllerStatus {
+	svc := make(map[string]float64, len(l.lastService))
+	for k, v := range l.lastService {
+		svc[k] = float64(v)
+	}
+	return ControllerStatus{
+		Device:        l.cfg.DeviceID,
+		Level:         "leaf",
+		Running:       l.Running(),
+		Cycles:        l.cycles,
+		AggWatts:      float64(l.lastAgg),
+		Valid:         l.lastValid,
+		LimitWatts:    float64(l.cfg.Limit),
+		EffLimitWatts: float64(l.EffectiveLimit()),
+		ContractWatts: float64(l.contract),
+		CappedServers: l.CappedCount(),
+		CapEvents:     l.capEvents,
+		UncapEvents:   l.uncapEvents,
+		ServiceWatts:  svc,
+		Decisions:     lastDecisions(l.journal, lastN),
+	}
+}
+
+// Status snapshots the upper controller with its last lastN decision
+// records (lastN <= 0 returns all retained records). Loop-confined.
+func (u *Upper) Status(lastN int) ControllerStatus {
+	return ControllerStatus{
+		Device:        u.cfg.DeviceID,
+		Level:         "upper",
+		Running:       u.Running(),
+		Cycles:        u.cycles,
+		AggWatts:      float64(u.lastAgg),
+		Valid:         u.lastValid,
+		LimitWatts:    float64(u.cfg.Limit),
+		EffLimitWatts: float64(u.EffectiveLimit()),
+		ContractWatts: float64(u.contract),
+		CappedServers: len(u.ContractedChildren()),
+		CapEvents:     u.capEvents,
+		UncapEvents:   u.uncapEvents,
+		Contracted:    u.ContractedChildren(),
+		Decisions:     lastDecisions(u.journal, lastN),
+	}
+}

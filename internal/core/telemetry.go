@@ -1,0 +1,152 @@
+package core
+
+import (
+	"time"
+
+	"dynamo/internal/power"
+	"dynamo/internal/telemetry"
+)
+
+// ctrlInstr holds a controller's telemetry instruments. All handles are
+// fetched once at construction; the per-cycle path is atomic increments
+// and gauge stores only. A nil *ctrlInstr disables instrumentation — every
+// call site guards with `if tel != nil`, so the deterministic simulation
+// path (nil sink) performs no telemetry work at all.
+type ctrlInstr struct {
+	sink   *telemetry.Sink
+	device string
+
+	cycles          *telemetry.Counter
+	invalid         *telemetry.Counter
+	capEpisodes     *telemetry.Counter
+	uncapEpisodes   *telemetry.Counter
+	rpcFailures     *telemetry.Counter
+	planShortfalls  *telemetry.Counter
+	contractChanges *telemetry.Counter
+	alertCounts     [3]*telemetry.Counter // indexed by AlertLevel
+
+	agg      *telemetry.Gauge
+	effLimit *telemetry.Gauge
+	capped   *telemetry.Gauge
+
+	cycleDur *telemetry.Histogram
+}
+
+// newCtrlInstr registers one controller's instruments. level is "leaf" or
+// "upper"; for an upper controller the capped gauge counts contracted
+// children rather than capped servers.
+func newCtrlInstr(sink *telemetry.Sink, device, level string) *ctrlInstr {
+	if !sink.Enabled() {
+		return nil
+	}
+	lb := []string{"device", device, "level", level}
+	in := &ctrlInstr{
+		sink:            sink,
+		device:          device,
+		cycles:          sink.Counter("dynamo_controller_cycles_total", lb...),
+		invalid:         sink.Counter("dynamo_controller_invalid_aggregate_cycles_total", lb...),
+		capEpisodes:     sink.Counter("dynamo_controller_cap_episodes_total", lb...),
+		uncapEpisodes:   sink.Counter("dynamo_controller_uncap_episodes_total", lb...),
+		rpcFailures:     sink.Counter("dynamo_controller_rpc_failures_total", lb...),
+		planShortfalls:  sink.Counter("dynamo_controller_plan_shortfalls_total", lb...),
+		contractChanges: sink.Counter("dynamo_controller_contract_changes_total", lb...),
+		agg:             sink.Gauge("dynamo_controller_aggregate_watts", lb...),
+		effLimit:        sink.Gauge("dynamo_controller_effective_limit_watts", lb...),
+		capped:          sink.Gauge("dynamo_controller_capped_servers", lb...),
+		cycleDur:        sink.Histogram("dynamo_controller_cycle_duration_seconds", nil, lb...),
+	}
+	for _, lvl := range []AlertLevel{AlertInfo, AlertWarning, AlertCritical} {
+		in.alertCounts[lvl] = sink.Counter("dynamo_controller_alerts_total",
+			"device", device, "level", level, "severity", lvl.String())
+	}
+	return in
+}
+
+// wrapAlerts chains alert accounting (counter + trace event) ahead of the
+// user-provided alert sink. Safe on a nil receiver.
+func (in *ctrlInstr) wrapAlerts(user AlertFunc) AlertFunc {
+	if in == nil {
+		return user
+	}
+	return func(a Alert) {
+		lvl := a.Level
+		if lvl < AlertInfo || lvl > AlertCritical {
+			lvl = AlertCritical
+		}
+		in.alertCounts[lvl].Inc()
+		in.sink.Emit(telemetry.EventAlert, in.device, 0, a.Time, "%s: %s", a.Level, a.Msg)
+		if user != nil {
+			user(a)
+		}
+	}
+}
+
+// cycleStart marks the beginning of a pull cycle.
+func (in *ctrlInstr) cycleStart(cycle uint64, now time.Duration) {
+	in.sink.Emit(telemetry.EventCycleStart, in.device, cycle, now, "pull cycle start")
+}
+
+// cycleEnd records one completed, valid cycle: duration histogram, gauges,
+// and a cycle_end trace event summarizing the decision (linking the trace
+// ring to the journal via the cycle number).
+func (in *ctrlInstr) cycleEnd(cycle uint64, start, now time.Duration, agg, effLimit power.Watts, capped int, action Action) {
+	in.cycles.Inc()
+	in.cycleDur.Observe((now - start).Seconds())
+	in.agg.Set(float64(agg))
+	in.effLimit.Set(float64(effLimit))
+	in.capped.Set(float64(capped))
+	in.sink.Emit(telemetry.EventCycleEnd, in.device, cycle, now,
+		"agg=%v effLimit=%v capped=%d action=%s", agg, effLimit, capped, action)
+}
+
+// invalidCycle records a cycle whose aggregation was declared invalid.
+func (in *ctrlInstr) invalidCycle(cycle uint64, start, now time.Duration, failures, total int) {
+	in.cycles.Inc()
+	in.invalid.Inc()
+	in.cycleDur.Observe((now - start).Seconds())
+	in.sink.Emit(telemetry.EventAggregateInvalid, in.device, cycle, now,
+		"%d/%d pulls failed", failures, total)
+}
+
+// transition records a band-decision change (none → cap, cap → uncap, ...).
+func (in *ctrlInstr) transition(cycle uint64, now time.Duration, from, to Action) {
+	switch to {
+	case ActionCap:
+		in.capEpisodes.Inc()
+	case ActionUncap:
+		in.uncapEpisodes.Inc()
+	}
+	in.sink.Emit(telemetry.EventBandTransition, in.device, cycle, now, "%s -> %s", from, to)
+}
+
+// capPlan summarizes a computed capping plan.
+func (in *ctrlInstr) capPlan(cycle uint64, now time.Duration, planned int, achieved, shortfall power.Watts, dryRun bool) {
+	if shortfall > 0 {
+		in.planShortfalls.Inc()
+	}
+	in.sink.Emit(telemetry.EventCapPlan, in.device, cycle, now,
+		"cap %d servers (achieved %v, short %v, dryrun=%v)", planned, achieved, shortfall, dryRun)
+}
+
+// contractReceived records a contractual-limit change imposed by a parent.
+func (in *ctrlInstr) contractReceived(now time.Duration, limit power.Watts) {
+	in.contractChanges.Inc()
+	if limit > 0 {
+		in.sink.Emit(telemetry.EventContract, in.device, 0, now, "contract received: %v", limit)
+	} else {
+		in.sink.Emit(telemetry.EventContract, in.device, 0, now, "contract cleared")
+	}
+}
+
+// contractIssued records a contractual limit sent to a child controller.
+func (in *ctrlInstr) contractIssued(cycle uint64, now time.Duration, child string, limit power.Watts) {
+	in.contractChanges.Inc()
+	in.sink.Emit(telemetry.EventContract, in.device, cycle, now,
+		"contract issued to %s: %v", child, limit)
+}
+
+// rpcFailure records a failed downstream call.
+func (in *ctrlInstr) rpcFailure(cycle uint64, now time.Duration, peer, op string, err error) {
+	in.rpcFailures.Inc()
+	in.sink.Emit(telemetry.EventRPCFailure, in.device, cycle, now, "%s to %s: %v", op, peer, err)
+}

@@ -9,6 +9,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/wire"
 )
 
@@ -42,6 +43,10 @@ type UpperConfig struct {
 	DryRun bool
 	// Alerts receives operator alerts.
 	Alerts AlertFunc
+	// Telemetry, when set, receives operational metrics and decision trace
+	// events. nil (the default) disables telemetry entirely, as in
+	// LeafConfig.
+	Telemetry *telemetry.Sink
 }
 
 func (c *UpperConfig) fillDefaults() {
@@ -114,9 +119,15 @@ type Upper struct {
 	holdoffUntil uint64
 
 	history *metrics.Series
+	journal *Journal
 
 	capEvents   uint64
 	uncapEvents uint64
+
+	// telemetry (nil when disabled)
+	tel          *ctrlInstr
+	cycleStartAt time.Duration
+	lastAction   Action
 }
 
 // NewUpper creates an upper-level controller over child controllers.
@@ -127,7 +138,10 @@ func NewUpper(loop simclock.Loop, cfg UpperConfig, children []ChildRef) *Upper {
 		loop:     loop,
 		children: make(map[string]*childState, len(children)),
 		history:  metrics.NewSeries(1024),
+		journal:  NewJournal(512),
 	}
+	u.tel = newCtrlInstr(cfg.Telemetry, cfg.DeviceID, "upper")
+	u.cfg.Alerts = u.tel.wrapAlerts(u.cfg.Alerts)
 	for _, c := range children {
 		u.children[c.ID] = &childState{id: c.ID, client: c.Client, quota: c.Quota}
 		u.order = append(u.order, c.ID)
@@ -159,6 +173,12 @@ func (u *Upper) History() *metrics.Series { return u.history }
 
 // CapEvents returns how many capping actions were taken.
 func (u *Upper) CapEvents() uint64 { return u.capEvents }
+
+// UncapEvents returns how many uncap actions were taken.
+func (u *Upper) UncapEvents() uint64 { return u.uncapEvents }
+
+// Journal returns the controller's decision log (oldest-first ring).
+func (u *Upper) Journal() *Journal { return u.journal }
 
 // ContractedChildren returns the IDs currently under a contractual limit.
 func (u *Upper) ContractedChildren() []string {
@@ -194,6 +214,10 @@ func (u *Upper) pollCycle() {
 	}
 	u.cycleSeq++
 	seq := u.cycleSeq
+	if u.tel != nil {
+		u.cycleStartAt = u.loop.Now()
+		u.tel.cycleStart(u.cycles+1, u.cycleStartAt)
+	}
 	u.inflight = len(u.order)
 	if u.inflight == 0 {
 		u.finishCycle()
@@ -210,6 +234,9 @@ func (u *Upper) pollCycle() {
 func (u *Upper) onPull(seq uint64, st *childState, resp []byte, err error) {
 	if seq != u.cycleSeq {
 		return
+	}
+	if err != nil && u.tel != nil {
+		u.tel.rpcFailure(u.cycles+1, u.loop.Now(), st.id, "child pull", err)
 	}
 	if err == nil {
 		var r CtrlReadPowerResponse
@@ -258,6 +285,9 @@ func (u *Upper) finishCycle() {
 	}
 	if staleFrac > u.cfg.MaxStaleFrac {
 		u.lastValid = false
+		if u.tel != nil {
+			u.tel.invalidCycle(u.cycles, u.cycleStartAt, now, stale, len(u.order))
+		}
 		// During the first cycles after a (re)start, children may simply
 		// not have completed their own first aggregation yet; that is
 		// expected and not alert-worthy.
@@ -265,6 +295,9 @@ func (u *Upper) finishCycle() {
 			u.cfg.Alerts.emit(now, AlertCritical, u.cfg.DeviceID,
 				"aggregation invalid: %d/%d children unreachable", stale, len(u.order))
 		}
+		u.journal.Add(DecisionRecord{
+			Cycle: u.cycles, Time: now, Valid: false, Failures: stale,
+		})
 		return
 	}
 
@@ -284,7 +317,16 @@ func (u *Upper) finishCycle() {
 
 	bands := u.effectiveBands()
 	anyContracted := len(u.ContractedChildren()) > 0
-	switch bands.Decide(total, anyContracted) {
+	action := bands.Decide(total, anyContracted)
+	rec := DecisionRecord{
+		Cycle: u.cycles, Time: now, Agg: total, Valid: true,
+		EffLimit: u.EffectiveLimit(), Action: action, DryRun: u.cfg.DryRun,
+	}
+	if u.tel != nil && action != u.lastAction {
+		u.tel.transition(u.cycles, now, u.lastAction, action)
+	}
+	u.lastAction = action
+	switch action {
 	case ActionCap:
 		// Conservative single-step actuation (paper §III-C2, ref [22]):
 		// size the cut from the smaller of the live and smoothed
@@ -296,10 +338,16 @@ func (u *Upper) finishCycle() {
 			if smoothed < basis {
 				basis = smoothed
 			}
-			u.doCap(now, basis, bands.CapTarget)
+			rec.Target = bands.CapTarget
+			rec.ServersPlanned, rec.Achieved, rec.Shortfall = u.doCap(now, basis, bands.CapTarget)
 		}
 	case ActionUncap:
 		u.doUncap(now)
+	}
+	u.journal.Add(rec)
+	if u.tel != nil {
+		u.tel.cycleEnd(u.cycles, u.cycleStartAt, now, total, u.EffectiveLimit(),
+			len(u.ContractedChildren()), action)
 	}
 }
 
@@ -307,17 +355,26 @@ func (u *Upper) finishCycle() {
 // distributed among children whose usage exceeds their power quota,
 // high-bucket-first on the overage; only if the offenders cannot absorb it
 // does the residual spread to the remaining children.
-func (u *Upper) doCap(now time.Duration, agg, target power.Watts) {
+func (u *Upper) doCap(now time.Duration, agg, target power.Watts) (planned int, achieved, shortfall power.Watts) {
 	needed := agg - target
 	if needed <= 0 {
-		return
+		return 0, 0, 0
 	}
 	cuts := u.planChildCuts(needed)
 	u.holdoffUntil = u.cycles + 2
+	for _, c := range cuts {
+		achieved += c
+	}
+	if shortfall = needed - achieved; shortfall < 0 {
+		shortfall = 0
+	}
+	if u.tel != nil {
+		u.tel.capPlan(u.cycles, now, len(cuts), achieved, shortfall, u.cfg.DryRun)
+	}
 	if u.cfg.DryRun {
 		u.cfg.Alerts.emit(now, AlertInfo, u.cfg.DeviceID,
 			"dry-run: would contract %d children", len(cuts))
-		return
+		return len(cuts), achieved, shortfall
 	}
 	u.capEvents++
 	for id, cut := range cuts {
@@ -328,15 +385,22 @@ func (u *Upper) doCap(now time.Duration, agg, target power.Watts) {
 		}
 		st.contract = contract
 		st.contracted = true
+		if u.tel != nil {
+			u.tel.contractIssued(u.cycles, now, st.id, contract)
+		}
 		req := &SetContractRequest{LimitWatts: float64(contract)}
 		st.client.Call(MethodCtrlSetContract, req, u.cfg.PullTimeout, func(resp []byte, err error) {
 			var ack AckResponse
-			if rpc.Decode(resp, err, &ack) != nil || !ack.OK {
+			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
+				if u.tel != nil {
+					u.tel.rpcFailure(u.cycles, u.loop.Now(), st.id, "set contract", derr)
+				}
 				u.cfg.Alerts.emit(u.loop.Now(), AlertWarning, u.cfg.DeviceID,
 					"contract to %s failed", st.id)
 			}
 		})
 	}
+	return len(cuts), achieved, shortfall
 }
 
 // planChildCuts distributes the needed cut: offenders first (down to their
@@ -405,7 +469,10 @@ func (u *Upper) doUncap(now time.Duration) {
 		}
 		st.client.Call(MethodCtrlClearContract, rpc.Empty, u.cfg.PullTimeout, func(resp []byte, err error) {
 			var ack AckResponse
-			if rpc.Decode(resp, err, &ack) != nil || !ack.OK {
+			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
+				if u.tel != nil {
+					u.tel.rpcFailure(u.cycles, u.loop.Now(), st.id, "clear contract", derr)
+				}
 				u.cfg.Alerts.emit(u.loop.Now(), AlertWarning, u.cfg.DeviceID,
 					"clear contract to %s failed", st.id)
 				return
@@ -442,9 +509,15 @@ func (u *Upper) Handler() rpc.Handler {
 				return nil, err
 			}
 			u.contract = power.Watts(req.LimitWatts)
+			if u.tel != nil {
+				u.tel.contractReceived(u.loop.Now(), u.contract)
+			}
 			return &AckResponse{OK: true}, nil
 		case MethodCtrlClearContract:
 			u.contract = 0
+			if u.tel != nil {
+				u.tel.contractReceived(u.loop.Now(), 0)
+			}
 			return &AckResponse{OK: true}, nil
 		case MethodCtrlPing:
 			return &CtrlPingResponse{Healthy: u.Running(), Cycles: u.cycles}, nil

@@ -84,6 +84,7 @@ func readFrame(r io.Reader) (*envelope, error) {
 // TCPServer serves a Handler over framed TCP connections.
 type TCPServer struct {
 	handler Handler
+	tel     *rpcInstr // nil when telemetry is disabled
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -153,13 +154,24 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			var start time.Time
+			if s.tel != nil {
+				start = time.Now()
+				s.tel.requests.Inc()
+			}
 			resp := &envelope{Kind: kindResponse, ID: req.ID}
 			m, err := s.handler(req.Method, req.Body)
 			if err != nil {
 				resp.IsErr = true
 				resp.ErrMsg = err.Error()
+				if s.tel != nil {
+					s.tel.errors.Inc()
+				}
 			} else if m != nil {
 				resp.Body = wire.Marshal(m)
+			}
+			if s.tel != nil {
+				s.tel.latency.Observe(time.Since(start).Seconds())
 			}
 			// Best effort: a write error means the conn is going away.
 			_ = writeFrame(conn, &writeMu, resp)
@@ -192,6 +204,7 @@ func (s *TCPServer) Close() error {
 type TCPClient struct {
 	loop simclock.Loop
 	conn net.Conn
+	tel  *rpcInstr // nil when telemetry is disabled
 
 	writeMu sync.Mutex
 
@@ -267,6 +280,18 @@ func (c *TCPClient) failAll(err error) {
 
 // Call implements Client.
 func (c *TCPClient) Call(method string, req wire.Message, timeout time.Duration, done func([]byte, error)) {
+	if c.tel != nil {
+		c.tel.requests.Inc()
+		start := time.Now()
+		userDone := done
+		done = func(body []byte, err error) {
+			c.tel.latency.Observe(time.Since(start).Seconds())
+			if err != nil {
+				c.tel.errors.Inc()
+			}
+			userDone(body, err)
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

@@ -1,0 +1,38 @@
+package rpc
+
+import (
+	"dynamo/internal/telemetry"
+)
+
+// rpcInstr holds one endpoint's RPC instruments. Handles are fetched once
+// at SetTelemetry; the per-request path is atomic increments plus two
+// clock reads. nil disables instrumentation entirely.
+type rpcInstr struct {
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+func newRPCInstr(s *telemetry.Sink, side string) *rpcInstr {
+	if !s.Enabled() {
+		return nil
+	}
+	lb := []string{"transport", "tcp"}
+	return &rpcInstr{
+		requests: s.Counter("dynamo_rpc_"+side+"_requests_total", lb...),
+		errors:   s.Counter("dynamo_rpc_"+side+"_errors_total", lb...),
+		latency:  s.Histogram("dynamo_rpc_"+side+"_latency_seconds", nil, lb...),
+	}
+}
+
+// SetTelemetry attaches request/error/latency instruments to this server.
+// Call before Listen; a nil or disabled sink leaves telemetry off.
+func (s *TCPServer) SetTelemetry(sink *telemetry.Sink) {
+	s.tel = newRPCInstr(sink, "server")
+}
+
+// SetTelemetry attaches request/error/latency instruments to this client.
+// Call before issuing Calls; a nil or disabled sink leaves telemetry off.
+func (c *TCPClient) SetTelemetry(sink *telemetry.Sink) {
+	c.tel = newRPCInstr(sink, "client")
+}

@@ -22,6 +22,7 @@ import (
 	"dynamo/internal/rpc"
 	"dynamo/internal/server"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
 	"dynamo/internal/workload"
 )
@@ -71,6 +72,11 @@ type Config struct {
 	// network hardware that supports capping). When false (the deployed
 	// configuration), switches are monitored as a constant draw only.
 	CappableSwitches bool
+	// Telemetry, when set, instruments the controller hierarchy and marks
+	// scenario events (load shifts, outages, breaker trips) in the trace
+	// ring. nil (the default) keeps the simulation telemetry-free and
+	// byte-identical to previous releases.
+	Telemetry *telemetry.Sink
 }
 
 // recharge is one rack's decaying DCUPS recharge draw.
@@ -125,6 +131,9 @@ type Sim struct {
 	Trips  []TripEvent
 
 	ticker *simclock.Ticker
+
+	tel       *telemetry.Sink // nil when disabled
+	tripCount *telemetry.Counter
 }
 
 // New builds a simulation. Servers are assigned per-service shared
@@ -162,6 +171,10 @@ func New(cfg Config) (*Sim, error) {
 		recordedServers: map[string]*metrics.Series{},
 		meter:           map[topology.NodeID]power.Watts{},
 		recharges:       map[topology.NodeID]recharge{},
+	}
+	if cfg.Telemetry.Enabled() {
+		s.tel = cfg.Telemetry
+		s.tripCount = cfg.Telemetry.Counter("dynamo_sim_breaker_trips_total")
 	}
 
 	sensorless := map[string]bool{}
@@ -283,6 +296,9 @@ func New(cfg Config) (*Sim, error) {
 		if hcfg.NonServerDrawPerRack == 0 {
 			hcfg.NonServerDrawPerRack = cfg.SwitchDraw
 		}
+		if hcfg.Telemetry == nil {
+			hcfg.Telemetry = cfg.Telemetry
+		}
 		if cfg.CappableSwitches {
 			hcfg.IncludeSwitches = true
 		}
@@ -344,6 +360,15 @@ func (s *Sim) At(t time.Duration, fn func()) {
 	s.Loop.After(d, fn)
 }
 
+// Mark drops a scenario marker into the telemetry trace ring, so operator
+// tooling can correlate controller decisions with the scenario events that
+// provoked them. No-op when telemetry is disabled.
+func (s *Sim) Mark(format string, args ...interface{}) {
+	if s.tel != nil {
+		s.tel.Emit(telemetry.EventScenario, "sim", 0, s.Loop.Now(), format, args...)
+	}
+}
+
 // tick advances physics: server state, device power, breakers, recording.
 func (s *Sim) tick() {
 	now := s.Loop.Now()
@@ -358,6 +383,10 @@ func (s *Sim) tick() {
 			s.Trips = append(s.Trips, TripEvent{
 				Device: devID, Class: br.Class(), At: now, Draw: draw,
 			})
+			if s.tel != nil {
+				s.tripCount.Inc()
+				s.Mark("breaker %s tripped at %v draw", devID, draw)
+			}
 			if !s.Cfg.DisableTripOutage && !wasTripped {
 				s.outage(devID)
 			}
@@ -444,6 +473,9 @@ func (s *Sim) RestoreDevice(devID topology.NodeID) {
 	if node == nil {
 		return
 	}
+	if s.tel != nil {
+		s.Mark("restore device %s", devID)
+	}
 	now := s.Loop.Now()
 	node.Walk(func(n *topology.Node) {
 		switch n.Kind {
@@ -525,12 +557,18 @@ func (s *Sim) ServerSeries(id string) *metrics.Series { return s.recordedServers
 func (s *Sim) SetServiceLoadFactor(service string, f float64) {
 	if sh, ok := s.Shared[service]; ok {
 		sh.SetLoadFactor(f)
+		if s.tel != nil {
+			s.Mark("service %s load factor -> %.2f", service, f)
+		}
 	}
 }
 
 // SetExtraLoadUnder adds additive load to every server under a device
 // (per-row load tests, Fig 11/15).
 func (s *Sim) SetExtraLoadUnder(devID topology.NodeID, extra float64) {
+	if s.tel != nil {
+		s.Mark("extra load %.2f under %s", extra, devID)
+	}
 	for _, srv := range s.Topo.ServersUnder(devID) {
 		s.Gens[string(srv.ID)].SetExtraLoad(extra)
 	}
@@ -538,6 +576,9 @@ func (s *Sim) SetExtraLoadUnder(devID topology.NodeID, extra float64) {
 
 // SetTurboForService toggles Turbo Boost for every server of a service.
 func (s *Sim) SetTurboForService(service string, on bool) {
+	if s.tel != nil {
+		s.Mark("turbo %v for service %s", on, service)
+	}
 	for _, id := range s.serverOrder {
 		if s.Servers[id].Service() == service {
 			s.Servers[id].SetTurbo(on)

@@ -14,6 +14,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 )
 
 // Dialer connects to a remote endpoint (an agent or an out-of-suite
@@ -34,8 +35,10 @@ type Assembly struct {
 	order []string
 }
 
-// Build constructs every controller in the suite configuration.
-func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.AlertFunc) (*Assembly, error) {
+// Build constructs every controller in the suite configuration. tel may be
+// nil to disable telemetry. On error, every connection dialed so far is
+// closed before returning — a failed suite assembly must not leak sockets.
+func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.AlertFunc, tel *telemetry.Sink) (*Assembly, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,6 +47,12 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 		Leaves: map[string]*core.Leaf{},
 		Uppers: map[string]*core.Upper{},
 		Intra:  rpc.NewNetwork(loop, 0, 1),
+	}
+	var dialed []rpc.Client
+	closeDialed := func() {
+		for _, cl := range dialed {
+			cl.Close()
+		}
 	}
 
 	// Pass 1: leaves (they have no intra-suite dependencies).
@@ -55,8 +64,10 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 		for _, ag := range c.Agents {
 			cl, err := dial(ag.Addr)
 			if err != nil {
+				closeDialed()
 				return nil, fmt.Errorf("suite: dial agent %s (%s): %w", ag.ID, ag.Addr, err)
 			}
+			dialed = append(dialed, cl)
 			refs = append(refs, core.AgentRef{
 				ServerID: ag.ID, Service: ag.Service, Generation: ag.Generation, Client: cl,
 			})
@@ -69,6 +80,7 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 			DryRun:       c.DryRun,
 			UsePID:       c.UsePID,
 			Alerts:       alerts,
+			Telemetry:    tel,
 		}
 		if c.Bands != nil {
 			lc.Bands = bandConfig(c.Bands)
@@ -97,8 +109,10 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 				var err error
 				cl, err = dial(ch.Addr)
 				if err != nil {
+					closeDialed()
 					return nil, fmt.Errorf("suite: dial child %s: %w", ch.Addr, err)
 				}
+				dialed = append(dialed, cl)
 			}
 			children = append(children, core.ChildRef{
 				ID: id, Client: cl, Quota: power.Watts(ch.QuotaWatts),
@@ -111,6 +125,7 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 			PollInterval: c.Poll(),
 			DryRun:       c.DryRun,
 			Alerts:       alerts,
+			Telemetry:    tel,
 		}
 		if c.Bands != nil {
 			uc.Bands = bandConfig(c.Bands)
@@ -158,3 +173,17 @@ func (a *Assembly) StopAll() {
 
 // NumControllers returns the instance count.
 func (a *Assembly) NumControllers() int { return len(a.order) }
+
+// Status snapshots every controller in declaration order with its last
+// lastN decision records. Loop-confined, like the controller methods.
+func (a *Assembly) Status(lastN int) []core.ControllerStatus {
+	out := make([]core.ControllerStatus, 0, len(a.order))
+	for _, d := range a.order {
+		if l, ok := a.Leaves[d]; ok {
+			out = append(out, l.Status(lastN))
+		} else if u, ok := a.Uppers[d]; ok {
+			out = append(out, u.Status(lastN))
+		}
+	}
+	return out
+}

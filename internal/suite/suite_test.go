@@ -92,7 +92,7 @@ func TestBuildAndRunSuite(t *testing.T) {
 		}
 	}
 	var alerts []core.Alert
-	asm, err := Build(w.loop, cfg, w.dialer(), func(a core.Alert) { alerts = append(alerts, a) })
+	asm, err := Build(w.loop, cfg, w.dialer(), func(a core.Alert) { alerts = append(alerts, a) }, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestBuildAndRunSuite(t *testing.T) {
 func TestBuildRejectsInvalidConfig(t *testing.T) {
 	w := newWorld(t)
 	bad := &config.Suite{Name: "x"}
-	if _, err := Build(w.loop, bad, w.dialer(), nil); err == nil {
+	if _, err := Build(w.loop, bad, w.dialer(), nil, nil); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -143,7 +143,7 @@ func TestBuildDialerErrorPropagates(t *testing.T) {
 	failing := func(addr string) (rpc.Client, error) {
 		return nil, fmt.Errorf("no route to %s", addr)
 	}
-	if _, err := Build(w.loop, cfg, failing, nil); err == nil {
+	if _, err := Build(w.loop, cfg, failing, nil, nil); err == nil {
 		t.Fatal("dialer error swallowed")
 	}
 }
@@ -156,7 +156,7 @@ func TestControllerLookup(t *testing.T) {
 			w.addAgent(a.ID, 0.5)
 		}
 	}
-	asm, err := Build(w.loop, cfg, w.dialer(), nil)
+	asm, err := Build(w.loop, cfg, w.dialer(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

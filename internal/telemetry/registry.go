@@ -1,0 +1,347 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry or Sink. A nil *Counter is a no-op, so
+// instrumented code can hold handles unconditionally.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one. Safe for concurrent use; zero-allocation; nil no-op.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	atomic.AddUint64(&c.v, 1)
+}
+
+// Add adds n. Nil no-op.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	atomic.AddUint64(&c.v, n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&c.v)
+}
+
+// Gauge is a metric that can go up and down. Stored as float64 bits; all
+// operations are atomic and nil-safe.
+type Gauge struct {
+	bits uint64
+}
+
+// Set stores v. Nil no-op.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(&g.bits, math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop). Nil no-op.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(&g.bits, old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits))
+}
+
+// DefBuckets are the default histogram bounds, in seconds, spanning the
+// latencies seen across the system: sub-millisecond in-process calls up to
+// multi-second stuck pull cycles.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// atomic per-bucket adds plus an atomic sum — no locks, no allocations.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; implicit +Inf bucket follows
+	counts  []uint64  // len(bounds)+1
+	sumBits uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample. Nil no-op; zero-allocation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	atomic.AddUint64(&h.counts[i], 1)
+	for {
+		old := atomic.LoadUint64(&h.sumBits)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&h.sumBits, old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += atomic.LoadUint64(&h.counts[i])
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&h.sumBits))
+}
+
+// metricKind discriminates families in the registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one labelled instance of a metric family.
+type series struct {
+	labels string // `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name   string
+	kind   metricKind
+	series map[string]*series
+	order  []string // registration order of label sets
+}
+
+// Registry holds named metrics. Registration (the Counter/Gauge/Histogram
+// getters) takes a lock and may allocate; the returned handles are
+// lock-free. Fetch handles once at construction time, not per operation.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// formatLabels renders alternating key/value pairs as {k="v",...}.
+// Values are escaped per the Prometheus text format.
+func formatLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", labels))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		v := labels[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// getSeries finds or creates the series for name+labels, initializing the
+// underlying metric under the registry lock so readers never observe a
+// half-registered series.
+func (r *Registry) getSeries(name string, kind metricKind, buckets []float64, labels []string) *series {
+	ls := formatLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	s, ok := f.series[ls]
+	if !ok {
+		s = &series{labels: ls}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(buckets)
+		}
+		f.series[ls] = s
+		f.order = append(f.order, ls)
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, registering it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.getSeries(name, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.getSeries(name, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram for name+labels, registering it with the
+// given bucket upper bounds on first use (nil buckets picks DefBuckets).
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	return r.getSeries(name, kindHistogram, buckets, labels).h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		order := append([]string(nil), f.order...)
+		srs := make([]*series, 0, len(order))
+		for _, ls := range order {
+			srs = append(srs, f.series[ls])
+		}
+		r.mu.Unlock()
+		for _, s := range srs {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.g.Value()))
+		return err
+	case kindHistogram:
+		h := s.h
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += atomic.LoadUint64(&h.counts[i])
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, mergeLabels(s.labels, fmt.Sprintf(`le="%s"`, formatFloat(bound))), cum); err != nil {
+				return err
+			}
+		}
+		cum += atomic.LoadUint64(&h.counts[len(h.bounds)])
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabels(s.labels, `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, cum)
+		return err
+	}
+	return nil
+}
+
+// mergeLabels splices an extra label into an existing {..} label string.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

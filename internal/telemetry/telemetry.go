@@ -1,0 +1,106 @@
+// Package telemetry is Dynamo's operational observability subsystem — the
+// paper's §VI lesson that "power monitoring is as important as power
+// capping", applied to the reproduction itself. It provides three pieces:
+//
+//   - a low-overhead Registry of named counters, gauges, and fixed-bucket
+//     histograms (atomic hot path, safe for concurrent use, zero-allocation
+//     on increment);
+//   - structured trace Events for every control decision (cycle start/end,
+//     aggregate validity, band transitions, capping-plan summaries,
+//     contracts, alerts, RPC failures) retained in a bounded in-memory
+//     ring that subsumes and links to the per-controller core.Journal via
+//     the cycle number;
+//   - an HTTP exposition server (Serve) with Prometheus text format at
+//     /metrics, a JSON state snapshot at /debug/state, and /healthz.
+//
+// Everything hangs off a *Sink, and a nil *Sink disables the whole
+// subsystem: every method is nil-safe and the instrument handles it hands
+// out are nil-safe no-ops, so the deterministic simulation path pays
+// nothing (no allocations, no time reads) when telemetry is off.
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sink bundles a metric registry and a trace ring. A nil *Sink is a valid,
+// fully disabled sink: all methods no-op and return nil-safe handles.
+type Sink struct {
+	registry *Registry
+	trace    *Ring
+}
+
+// NewSink creates an enabled sink with a fresh registry and a trace ring
+// retaining the last n events (n <= 0 picks a default of 2048).
+func NewSink() *Sink {
+	return &Sink{registry: NewRegistry(), trace: NewRing(2048)}
+}
+
+// Enabled reports whether the sink is non-nil. Instrumented components use
+// it to guard work (formatting, time reads) that only matters when
+// telemetry is on.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Registry returns the sink's metric registry (nil for a nil sink).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.registry
+}
+
+// Trace returns the sink's trace ring (nil for a nil sink).
+func (s *Sink) Trace() *Ring {
+	if s == nil {
+		return nil
+	}
+	return s.trace
+}
+
+// Counter fetches (or registers) a counter. Returns a nil-safe handle on a
+// nil sink. Labels are alternating key/value pairs.
+func (s *Sink) Counter(name string, labels ...string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.registry.Counter(name, labels...)
+}
+
+// Gauge fetches (or registers) a gauge. Nil-safe on a nil sink.
+func (s *Sink) Gauge(name string, labels ...string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.registry.Gauge(name, labels...)
+}
+
+// Histogram fetches (or registers) a histogram with the given upper
+// bounds (nil picks DefBuckets). Nil-safe on a nil sink.
+func (s *Sink) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.registry.Histogram(name, buckets, labels...)
+}
+
+// Emit appends a trace event. Callers on a hot path should guard with
+// Enabled() so the fmt.Sprintf (and its argument boxing) is skipped
+// entirely when telemetry is off; Emit itself is also nil-safe.
+func (s *Sink) Emit(typ EventType, component string, cycle uint64, at time.Duration, format string, args ...interface{}) {
+	if s == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	s.trace.Add(Event{
+		Time:      at,
+		Wall:      time.Now(),
+		Type:      typ,
+		Component: component,
+		Cycle:     cycle,
+		Detail:    detail,
+	})
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType classifies trace events. The set covers every control decision
+// the hierarchy makes (ISSUE: cycle start/end, aggregate validity, band
+// transitions, capping-plan summaries, contracts, alerts, RPC failures)
+// plus simulator scenario markers.
+type EventType string
+
+const (
+	// EventCycleStart marks the beginning of a controller pull cycle.
+	EventCycleStart EventType = "cycle_start"
+	// EventCycleEnd marks the end of a pull cycle (aggregation + decision).
+	EventCycleEnd EventType = "cycle_end"
+	// EventAggregateInvalid records a cycle whose aggregation was declared
+	// invalid (too many pull failures / stale children).
+	EventAggregateInvalid EventType = "aggregate_invalid"
+	// EventBandTransition records a change in the three-band decision
+	// (none → cap, cap → uncap, ...).
+	EventBandTransition EventType = "band_transition"
+	// EventCapPlan summarizes a computed capping plan (servers touched,
+	// achieved cut, shortfall).
+	EventCapPlan EventType = "cap_plan"
+	// EventContract records a contractual limit issued to or received from
+	// another controller.
+	EventContract EventType = "contract"
+	// EventAlert mirrors an operator alert into the trace.
+	EventAlert EventType = "alert"
+	// EventRPCFailure records a failed downstream call (pull, cap command,
+	// contract delivery).
+	EventRPCFailure EventType = "rpc_failure"
+	// EventScenario marks a simulator scenario action (load shift, outage,
+	// restore, turbo toggle) so decision traces line up with their cause.
+	EventScenario EventType = "scenario"
+)
+
+// Event is one structured trace record. Cycle links the event to the
+// controller's core.Journal decision record of the same cycle number
+// (0 when the event is not cycle-scoped).
+type Event struct {
+	// Seq is a monotonically increasing sequence number within the ring.
+	Seq uint64 `json:"seq"`
+	// Time is the event-loop time (deterministic in simulation).
+	Time time.Duration `json:"loop_time_ns"`
+	// Wall is the wall-clock emission time (for incident reconstruction).
+	Wall time.Time `json:"wall"`
+	// Type classifies the event.
+	Type EventType `json:"type"`
+	// Component names the emitting component (device ID, "agent/srv001",
+	// "sim", ...).
+	Component string `json:"component"`
+	// Cycle is the controller cycle number the event belongs to, matching
+	// core.DecisionRecord.Cycle; 0 when not cycle-scoped.
+	Cycle uint64 `json:"cycle,omitempty"`
+	// Detail is the human-readable event description.
+	Detail string `json:"detail"`
+}
+
+// Ring is a bounded, concurrency-safe ring of trace events. Writers come
+// from event-loop goroutines; readers are HTTP exposition handlers.
+type Ring struct {
+	mu   sync.Mutex
+	cap  int
+	recs []Event
+	next int
+	full bool
+	seq  uint64
+}
+
+// NewRing creates a ring retaining the last n events (n <= 0 → 2048).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 2048
+	}
+	return &Ring{cap: n, recs: make([]Event, 0, n)}
+}
+
+// Add appends an event, evicting the oldest when full. Nil-safe.
+func (r *Ring) Add(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
+	if len(r.recs) < r.cap {
+		r.recs = append(r.recs, e)
+		return
+	}
+	r.recs[r.next] = e
+	r.next = (r.next + 1) % r.cap
+	r.full = true
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// Events returns up to n retained events, oldest-first (n <= 0 → all).
+func (r *Ring) Events(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.recs))
+	if r.full {
+		out = append(out, r.recs[r.next:]...)
+		out = append(out, r.recs[:r.next]...)
+	} else {
+		out = append(out, r.recs...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// OfType returns up to n retained events of the given type, oldest-first.
+func (r *Ring) OfType(typ EventType, n int) []Event {
+	all := r.Events(0)
+	var out []Event
+	for _, e := range all {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
