@@ -18,6 +18,7 @@ import (
 
 	"dynamo/internal/metrics"
 	"dynamo/internal/power"
+	"dynamo/internal/telemetry"
 )
 
 // Observation is one device sample.
@@ -40,6 +41,10 @@ type Config struct {
 	// not needed for reports; oldest data is simply retained). Default
 	// 4096 samples.
 	HistoryCap int
+	// Telemetry publishes fleet gauges (per-class draw, headroom, and
+	// stranded power) and an alarm counter after every Observe batch.
+	// Nil disables publication entirely.
+	Telemetry *telemetry.Sink
 }
 
 func (c *Config) fill() {
@@ -75,10 +80,20 @@ type deviceState struct {
 	limit   power.Watts
 	history *metrics.Series
 	last    power.Watts
+	peak    power.Watts
 
 	hotSince time.Duration
 	hot      bool
 	alarmed  bool
+}
+
+// classGauges are the per-hierarchy-level fleet gauges published to
+// telemetry: current draw, current headroom (limit − draw), and stranded
+// power (limit − observed peak, the paper's "ghost space").
+type classGauges struct {
+	draw     *telemetry.Gauge
+	headroom *telemetry.Gauge
+	stranded *telemetry.Gauge
 }
 
 // Monitor aggregates fleet power observations.
@@ -87,12 +102,27 @@ type Monitor struct {
 	devices map[string]*deviceState
 	order   []string
 	alarms  []Alarm
+
+	gauges      map[power.DeviceClass]classGauges
+	alarmsTotal *telemetry.Counter
 }
 
 // New creates a Monitor.
 func New(cfg Config) *Monitor {
 	cfg.fill()
-	return &Monitor{cfg: cfg, devices: map[string]*deviceState{}}
+	m := &Monitor{cfg: cfg, devices: map[string]*deviceState{}}
+	if tel := cfg.Telemetry; tel.Enabled() {
+		m.gauges = make(map[power.DeviceClass]classGauges, 4)
+		for _, c := range power.Classes() {
+			m.gauges[c] = classGauges{
+				draw:     tel.Gauge("dynamo_monitor_power_watts", "class", c.String()),
+				headroom: tel.Gauge("dynamo_monitor_headroom_watts", "class", c.String()),
+				stranded: tel.Gauge("dynamo_monitor_stranded_watts", "class", c.String()),
+			}
+		}
+		m.alarmsTotal = tel.Counter("dynamo_monitor_alarms_total")
+	}
+	return m
 }
 
 // Observe ingests a batch of samples taken at the same instant.
@@ -109,6 +139,9 @@ func (m *Monitor) Observe(now time.Duration, obs []Observation) {
 		}
 		st.limit = o.Limit
 		st.last = o.Power
+		if o.Power > st.peak {
+			st.peak = o.Power
+		}
 		if st.history.Len() < m.cfg.HistoryCap {
 			st.history.Add(now, float64(o.Power))
 		}
@@ -127,11 +160,50 @@ func (m *Monitor) Observe(now time.Duration, obs []Observation) {
 					Since: st.hotSince, At: now,
 					Power: o.Power, Limit: o.Limit,
 				})
+				m.alarmsTotal.Inc()
 			}
 		default:
 			st.hot = false
 			st.alarmed = false
 		}
+	}
+	m.publishGauges()
+}
+
+// publishGauges pushes per-class fleet draw, headroom, and stranded power
+// to the telemetry sink. One O(devices) pass using incrementally tracked
+// per-device state (last draw, observed peak) — it deliberately avoids the
+// percentile math of HeadroomReport so it is cheap enough to run on every
+// Observe batch.
+func (m *Monitor) publishGauges() {
+	if m.gauges == nil {
+		return
+	}
+	type sums struct{ draw, headroom, stranded power.Watts }
+	byClass := map[power.DeviceClass]*sums{}
+	for _, id := range m.order {
+		st := m.devices[id]
+		s, ok := byClass[st.class]
+		if !ok {
+			s = &sums{}
+			byClass[st.class] = s
+		}
+		s.draw += st.last
+		if h := st.limit - st.last; h > 0 {
+			s.headroom += h
+		}
+		if str := st.limit - st.peak; str > 0 {
+			s.stranded += str
+		}
+	}
+	for c, g := range m.gauges {
+		s := byClass[c]
+		if s == nil {
+			s = &sums{}
+		}
+		g.draw.Set(float64(s.draw))
+		g.headroom.Set(float64(s.headroom))
+		g.stranded.Set(float64(s.stranded))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dynamo/internal/power"
+	"dynamo/internal/telemetry"
 )
 
 func sec(n int) time.Duration { return time.Duration(n) * time.Second }
@@ -139,5 +140,70 @@ func TestHistoryCap(t *testing.T) {
 	}
 	if got := m.DeviceHistory("x").Len(); got != 5 {
 		t.Errorf("history len = %d, want capped at 5", got)
+	}
+}
+
+func TestTelemetryGauges(t *testing.T) {
+	tel := telemetry.NewSink()
+	m := New(Config{Telemetry: tel, HotFrac: 0.9, HotFor: sec(6)})
+
+	m.Observe(0, []Observation{
+		{Device: "rpp1", Class: power.ClassRPP, Power: power.KW(150), Limit: power.KW(190)},
+		{Device: "rpp2", Class: power.ClassRPP, Power: power.KW(100), Limit: power.KW(190)},
+		{Device: "sb1", Class: power.ClassSB, Power: power.MW(1.0), Limit: power.MW(1.25)},
+	})
+	gauge := func(name string, class power.DeviceClass) power.Watts {
+		return power.Watts(tel.Gauge(name, "class", class.String()).Value())
+	}
+	if got := gauge("dynamo_monitor_power_watts", power.ClassRPP); got != power.KW(250) {
+		t.Errorf("RPP draw gauge = %v, want 250 kW", got)
+	}
+	if got := gauge("dynamo_monitor_headroom_watts", power.ClassRPP); got != power.KW(130) {
+		t.Errorf("RPP headroom gauge = %v, want 130 kW", got)
+	}
+	if got := gauge("dynamo_monitor_stranded_watts", power.ClassSB); got != power.KW(250) {
+		t.Errorf("SB stranded gauge = %v, want 250 kW", got)
+	}
+
+	// Draw drops: headroom tracks the current sample, stranded keeps the
+	// observed peak.
+	m.Observe(sec(3), []Observation{
+		{Device: "rpp1", Class: power.ClassRPP, Power: power.KW(50), Limit: power.KW(190)},
+		{Device: "rpp2", Class: power.ClassRPP, Power: power.KW(50), Limit: power.KW(190)},
+	})
+	if got := gauge("dynamo_monitor_headroom_watts", power.ClassRPP); got != power.KW(280) {
+		t.Errorf("RPP headroom gauge = %v, want 280 kW", got)
+	}
+	if got := gauge("dynamo_monitor_stranded_watts", power.ClassRPP); got != power.KW(130) {
+		t.Errorf("RPP stranded gauge = %v, want 130 kW (peak-based)", got)
+	}
+
+	// A persistently hot device bumps the alarm counter.
+	for i := 2; i <= 5; i++ {
+		m.Observe(sec(i*3), []Observation{
+			{Device: "rpp1", Class: power.ClassRPP, Power: power.KW(185), Limit: power.KW(190)},
+		})
+	}
+	if got := tel.Counter("dynamo_monitor_alarms_total").Value(); got != 1 {
+		t.Errorf("alarms counter = %d, want 1", got)
+	}
+
+	// Gauges appear in the Prometheus exposition with class labels.
+	var b strings.Builder
+	if err := tel.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `dynamo_monitor_stranded_watts{class="RPP"}`) {
+		t.Errorf("exposition missing labeled stranded gauge:\n%s", b.String())
+	}
+}
+
+func TestTelemetryNilSinkNoOp(t *testing.T) {
+	m := New(Config{}) // no telemetry
+	m.Observe(0, []Observation{
+		{Device: "rpp1", Class: power.ClassRPP, Power: power.KW(150), Limit: power.KW(190)},
+	})
+	if m.gauges != nil || m.alarmsTotal != nil {
+		t.Error("nil sink must not allocate gauges")
 	}
 }

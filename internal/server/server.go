@@ -25,8 +25,12 @@ func (f LoadFunc) Step(now time.Duration) float64 { return f(now) }
 // target within three time constants ≈ 2 s, matching Fig 9.
 const raplTau = 700 * time.Millisecond
 
-// Server is one simulated machine. It is not safe for concurrent use; the
-// simulator ticks all servers from its event loop.
+// Server is one simulated machine. A single Server is not safe for
+// concurrent use, but distinct Servers are fully independent: the
+// simulator shards Tick across a worker pool, ticking each server exactly
+// once per physics step from one goroutine, provided each server's
+// LoadSource is either private to it or read-only during the step (see
+// workload.Shared.Advance). All other methods run on the event loop.
 type Server struct {
 	id      string
 	service string
@@ -156,7 +160,9 @@ func (s *Server) Restore() {
 func (s *Server) Crashed() bool { return s.crashed }
 
 // Tick advances the server to time now: samples load, slews frequency
-// toward the RAPL target, and recomputes power draw.
+// toward the RAPL target, and recomputes power draw. The draw is cached
+// for the tick — Power is a field read, so aggregation passes may read it
+// any number of times without re-running the physics.
 func (s *Server) Tick(now time.Duration) {
 	first := !s.ticked
 	var dt time.Duration

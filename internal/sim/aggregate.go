@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"dynamo/internal/power"
+	"dynamo/internal/server"
+	"dynamo/internal/topology"
+)
+
+// parallelTickMin is the fleet size below which sharding the physics tick
+// costs more in goroutine handoff than it saves; small fleets tick
+// serially regardless of the worker setting.
+const parallelTickMin = 256
+
+// aggDev is one device's precomputed aggregation inputs: the servers (and
+// cappable switches) attached directly to it, its count of constant-draw
+// switches, and the snapshot indices of its child devices. The slice of
+// aggDev is ordered post-order, so children are always computed before
+// their parents and one forward pass aggregates the whole hierarchy.
+type aggDev struct {
+	id       topology.NodeID
+	isRack   bool
+	leaves   []*server.Server
+	constSw  int
+	children []int
+}
+
+// snapshot is the per-tick power view every consumer reads: breaker
+// observations, validators, recorders, Observations, DevicePower, and
+// TotalPower. It is recomputed once per physics tick (and on demand if
+// queried at a timestamp the tick has not reached).
+type snapshot struct {
+	at    time.Duration
+	valid bool
+	dev   []power.Watts
+	total power.Watts
+}
+
+// buildAggIndex resolves the topology's post-order device index against
+// the constructed server instances. Called once at New, after all servers
+// (including cappable switches) exist.
+func (s *Sim) buildAggIndex() {
+	post := s.Topo.DevicesPostOrder()
+	s.agg = make([]aggDev, 0, len(post))
+	s.aggIdx = make(map[topology.NodeID]int, len(post))
+	for _, n := range post {
+		d := aggDev{id: n.ID, isRack: n.Kind == topology.KindRack}
+		for _, l := range n.DirectLeaves() {
+			if sv, ok := s.Servers[string(l.ID)]; ok {
+				d.leaves = append(d.leaves, sv)
+			} else {
+				d.constSw++
+			}
+		}
+		for _, c := range n.ChildDevices() {
+			d.children = append(d.children, s.aggIdx[c.ID])
+		}
+		s.aggIdx[n.ID] = len(s.agg)
+		s.agg = append(s.agg, d)
+	}
+	s.snap.dev = make([]power.Watts, len(s.agg))
+
+	s.tickList = make([]*server.Server, len(s.serverOrder))
+	for i, id := range s.serverOrder {
+		s.tickList[i] = s.Servers[id]
+	}
+	s.constSwitches = 0
+	for _, sw := range s.Topo.OfKind(topology.KindSwitch) {
+		if _, ok := s.Servers[string(sw.ID)]; !ok {
+			s.constSwitches++
+		}
+	}
+
+	s.workers = s.Cfg.TickWorkers
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// aggregate recomputes the snapshot at time now: one bottom-up pass over
+// the post-order device index, each device summing its DCUPS recharge (if
+// a rack), its directly attached server/switch draws, its constant switch
+// draw, and its already-computed child device totals — O(total nodes) for
+// the whole hierarchy instead of O(nodes × depth) subtree walks.
+// Summation order is fixed by the index, so results are identical at any
+// worker count.
+func (s *Sim) aggregate(now time.Duration) {
+	for i := range s.agg {
+		d := &s.agg[i]
+		var sum power.Watts
+		if d.isRack {
+			sum += s.rechargeAt(d.id, now)
+		}
+		for _, sv := range d.leaves {
+			sum += sv.Power()
+		}
+		if d.constSw > 0 {
+			sum += power.Watts(d.constSw) * s.Cfg.SwitchDraw
+		}
+		for _, c := range d.children {
+			sum += s.snap.dev[c]
+		}
+		s.snap.dev[i] = sum
+	}
+	// Fleet total keeps its historical definition: all server draws plus
+	// constant switch draw, without DCUPS recharge.
+	var total power.Watts
+	for _, sv := range s.tickList {
+		total += sv.Power()
+	}
+	total += power.Watts(s.constSwitches) * s.Cfg.SwitchDraw
+	s.snap.at = now
+	s.snap.valid = true
+	s.snap.total = total
+}
+
+// refresh re-aggregates if the snapshot does not describe the current
+// loop time (e.g. a scenario callback querying between ticks, or any
+// query before the first tick). Within one timestamp the snapshot is
+// computed at most once unless explicitly invalidated.
+func (s *Sim) refresh() {
+	if now := s.Loop.Now(); !s.snap.valid || s.snap.at != now {
+		s.aggregate(now)
+	}
+}
+
+// invalidateSnapshot forces the next read to re-aggregate; called by
+// mutations that change device draw at the current instant (DCUPS
+// recharge start on restore).
+func (s *Sim) invalidateSnapshot() { s.snap.valid = false }
+
+// tickServers advances every server's physics to now, sharded across the
+// worker pool. Each server is ticked exactly once by one goroutine;
+// servers are mutually independent (per-server generator RNG, shared
+// workload state pre-advanced and read-only during the step), so the
+// result is byte-identical to the serial loop at any worker count.
+func (s *Sim) tickServers(now time.Duration) {
+	n := len(s.tickList)
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < parallelTickMin {
+		for _, sv := range s.tickList {
+			sv.Tick(now)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(list []*server.Server) {
+			defer wg.Done()
+			for _, sv := range list {
+				sv.Tick(now)
+			}
+		}(s.tickList[start:end])
+	}
+	wg.Wait()
+}
+
+// snapPower returns a node's draw from the current snapshot, falling back
+// to the subtree oracle for nodes outside the device index (the root, a
+// single server). Callers must have refreshed or just aggregated.
+func (s *Sim) snapPower(devID topology.NodeID) power.Watts {
+	if i, ok := s.aggIdx[devID]; ok {
+		return s.snap.dev[i]
+	}
+	return s.devicePowerWalk(devID)
+}
+
+// devicePowerWalk is the pre-aggregation-layer implementation: a full
+// subtree walk summing every server, switch, and rack recharge below the
+// node. Kept as the test oracle for the snapshot cross-check and as the
+// fallback for queries on non-device nodes (the datacenter root, a single
+// server). Unlike the snapshot path it never mutates recharge state.
+func (s *Sim) devicePowerWalk(devID topology.NodeID) power.Watts {
+	node := s.Topo.Lookup(devID)
+	if node == nil {
+		return 0
+	}
+	var sum power.Watts
+	now := s.Loop.Now()
+	node.Walk(func(n *topology.Node) {
+		switch n.Kind {
+		case topology.KindServer:
+			sum += s.Servers[string(n.ID)].Power()
+		case topology.KindSwitch:
+			if sv, ok := s.Servers[string(n.ID)]; ok {
+				sum += sv.Power() // cappable switch: measured draw
+			} else {
+				sum += s.Cfg.SwitchDraw
+			}
+		case topology.KindRack:
+			sum += s.rechargePeek(n.ID, now)
+		}
+	})
+	return sum
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dynamo/internal/topology"
+)
+
+// BenchmarkAggregation measures computing every device's draw for a
+// ~2000-server data center, the operation the refactor made O(N): one
+// bottom-up snapshot pass versus the pre-refactor per-device subtree
+// walks (O(N × depth)).
+func BenchmarkAggregation(b *testing.B) {
+	s, err := New(Config{Spec: topology.DefaultSpec().Scale(2000), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(2 * time.Second)
+	now := s.Loop.Now()
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.aggregate(now)
+		}
+	})
+	b.Run("treewalk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, devID := range s.deviceOrder {
+				_ = s.devicePowerWalk(devID)
+			}
+		}
+	})
+}
+
+// BenchmarkSimTick10k pits the refactored physics tick against the
+// pre-refactor path on a 10k-server fleet: one tick per iteration, with
+// validators and device recording enabled as the figure experiments use
+// them. treewalk re-enables the old behaviour (per-device subtree walks
+// for breakers, validators, and recorders, serial server step); snapshot
+// does one bottom-up pass and shards the server step across GOMAXPROCS
+// workers (snapshot-serial isolates the aggregation win from the
+// parallelism win — on a single-core machine they coincide).
+func BenchmarkSimTick10k(b *testing.B) {
+	run := func(b *testing.B, oracle bool, workers int) {
+		s, err := New(Config{
+			Spec:              topology.DefaultSpec().Scale(10000),
+			Seed:              1,
+			TickWorkers:       workers,
+			ValidatorInterval: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.useOracle = oracle
+		var recID []topology.NodeID
+		for _, n := range s.Topo.OfKind(topology.KindRPP) {
+			recID = append(recID, n.ID)
+		}
+		s.Record(5*time.Second, recID...)
+		s.Run(time.Second) // arm the ticker
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Run(s.Cfg.TickInterval)
+		}
+		b.ReportMetric(float64(len(s.serverOrder)), "servers")
+	}
+	b.Run("snapshot", func(b *testing.B) { run(b, false, 0) })
+	b.Run("snapshot-serial", func(b *testing.B) { run(b, false, 1) })
+	b.Run("treewalk", func(b *testing.B) { run(b, true, 1) })
+}

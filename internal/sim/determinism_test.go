@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"dynamo/internal/power"
+	"dynamo/internal/telemetry"
+	"dynamo/internal/topology"
+)
+
+// detSpec is big enough (≥ parallelTickMin servers) that the sharded tick
+// path actually engages.
+func detSpec() topology.Spec {
+	spec := topology.DefaultSpec()
+	spec.MSBs, spec.SBsPerMSB, spec.RPPsPerSB = 1, 2, 2
+	spec.RacksPerRPP, spec.ServersPerRack = 2, 32
+	// Tight ratings so the surge below reliably trips rack breakers (which
+	// no controller protects) while the RPP leaf controllers cap servers
+	// (producing alerts): both code paths land in the fingerprint.
+	spec.RackRating = power.KW(8.5)
+	spec.RPPRating = power.KW(16)
+	return spec
+}
+
+// fingerprint captures everything the golden test compares: trips,
+// alerts, recorded device series, and the final fleet total.
+type fingerprint struct {
+	Trips  []TripEvent
+	Alerts int
+	Series map[topology.NodeID][]float64
+	Total  float64
+}
+
+// runDetScenario drives a fixed scenario: validators on, device recording
+// on, a saturating surge that trips breakers, and a restore that starts
+// DCUPS recharges.
+func runDetScenario(t *testing.T, workers int, tel *telemetry.Sink) fingerprint {
+	t.Helper()
+	spec := detSpec()
+	s, err := New(Config{
+		Spec:              spec,
+		Seed:              42,
+		EnableDynamo:      true,
+		ValidatorInterval: 30 * time.Second,
+		TickWorkers:       workers,
+		Telemetry:         tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpp := s.Topo.OfKind(topology.KindRPP)[0]
+	s.Record(5*time.Second, rpp.ID, rpp.Parent.ID)
+	s.At(2*time.Minute, func() { s.SetExtraLoadUnder(rpp.ID, 0.9) })
+	s.At(7*time.Minute, func() { s.SetExtraLoadUnder(rpp.ID, 0) })
+	s.At(8*time.Minute, func() { s.RestoreDevice(rpp.ID) })
+	s.Run(12 * time.Minute)
+
+	fp := fingerprint{
+		Trips:  s.Trips,
+		Alerts: len(s.Alerts),
+		Series: map[topology.NodeID][]float64{},
+		Total:  float64(s.TotalPower()),
+	}
+	for _, id := range []topology.NodeID{rpp.ID, rpp.Parent.ID} {
+		fp.Series[id] = append([]float64(nil), s.Series(id).Values()...)
+	}
+	return fp
+}
+
+// TestSimDeterminismGolden asserts the core contract of the aggregation
+// layer: same seed, same spec → byte-identical trips, alerts, and
+// recorded series, regardless of worker count, GOMAXPROCS, or telemetry.
+func TestSimDeterminismGolden(t *testing.T) {
+	base := runDetScenario(t, 1, nil)
+	if len(base.Trips) == 0 {
+		t.Fatal("scenario produced no trips; determinism check is vacuous")
+	}
+
+	check := func(name string, got fingerprint) {
+		t.Helper()
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("%s: fingerprint diverges from serial baseline\nbase:  %+v\ngot:   %+v", name, base, got)
+		}
+	}
+
+	check("rerun-serial", runDetScenario(t, 1, nil))
+	check("workers-8", runDetScenario(t, 8, nil))
+	check("workers-3", runDetScenario(t, 3, nil))
+	check("telemetry-on", runDetScenario(t, 8, telemetry.NewSink()))
+
+	old := runtime.GOMAXPROCS(1)
+	got1 := runDetScenario(t, 0, nil) // 0 → GOMAXPROCS = 1 worker
+	runtime.GOMAXPROCS(8)
+	got8 := runDetScenario(t, 0, nil) // 0 → GOMAXPROCS = 8 workers
+	runtime.GOMAXPROCS(old)
+	check("gomaxprocs-1", got1)
+	check("gomaxprocs-8", got8)
+}
+
+// TestSnapshotMatchesOracleOnRandomTopology cross-checks the bottom-up
+// snapshot aggregation against the original subtree-walk oracle on
+// randomized topologies, including while DCUPS recharges are active.
+func TestSnapshotMatchesOracleOnRandomTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		spec := topology.DefaultSpec()
+		spec.MSBs = 1 + rng.Intn(2)
+		spec.SBsPerMSB = 1 + rng.Intn(3)
+		spec.RPPsPerSB = 1 + rng.Intn(3)
+		spec.RacksPerRPP = 1 + rng.Intn(3)
+		spec.ServersPerRack = 4 + rng.Intn(12)
+		spec.SwitchPerRack = trial%2 == 0
+		s, err := New(Config{
+			Spec:             spec,
+			Seed:             int64(trial + 1),
+			CappableSwitches: trial == 2,
+			TickWorkers:      1 + rng.Intn(8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rack := s.Topo.OfKind(topology.KindRack)[rng.Intn(len(s.Topo.OfKind(topology.KindRack)))]
+		s.At(90*time.Second, func() { s.RestoreDevice(rack.ID) }) // start a recharge
+		for _, stop := range []time.Duration{time.Minute, time.Minute, time.Minute} {
+			s.Run(stop)
+			for _, dev := range s.Topo.Devices() {
+				snap := float64(s.DevicePower(dev.ID))
+				oracle := float64(s.devicePowerWalk(dev.ID))
+				if diff := math.Abs(snap - oracle); diff > 1e-6*(1+math.Abs(oracle)) {
+					t.Fatalf("trial %d: device %s snapshot %.9f != oracle %.9f", trial, dev.ID, snap, oracle)
+				}
+			}
+			// The root is outside the device index; DevicePower must still
+			// answer through the oracle fallback.
+			if root := float64(s.DevicePower(s.Topo.Root.ID)); root <= 0 {
+				t.Fatalf("trial %d: root power %v", trial, root)
+			}
+		}
+	}
+}
+
+// TestOracleModeMatchesSnapshotMode runs the same seeded scenario with
+// breaker observations fed by the snapshot versus the tree-walk oracle
+// (the pre-refactor algorithm) and asserts identical outcomes: the
+// refactor changed the cost of a tick, not its physics.
+func TestOracleModeMatchesSnapshotMode(t *testing.T) {
+	run := func(oracle bool) *Sim {
+		spec := detSpec()
+		s, err := New(Config{Spec: spec, Seed: 11, TickWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.useOracle = oracle
+		rpp := s.Topo.OfKind(topology.KindRPP)[0]
+		s.At(time.Minute, func() { s.SetExtraLoadUnder(rpp.ID, 0.9) })
+		s.At(5*time.Minute, func() { s.RestoreDevice(rpp.ID) })
+		s.Run(8 * time.Minute)
+		return s
+	}
+	snap, oracle := run(false), run(true)
+	if len(snap.Trips) == 0 {
+		t.Fatal("scenario produced no trips; equivalence check is vacuous")
+	}
+	if len(snap.Trips) != len(oracle.Trips) {
+		t.Fatalf("snapshot mode tripped %d breakers, oracle mode %d", len(snap.Trips), len(oracle.Trips))
+	}
+	for i := range snap.Trips {
+		a, b := snap.Trips[i], oracle.Trips[i]
+		if a.Device != b.Device || a.Class != b.Class || a.At != b.At {
+			t.Errorf("trip %d differs: snapshot %+v oracle %+v", i, a, b)
+		}
+		// Draws may differ by float summation order only.
+		if diff := math.Abs(float64(a.Draw - b.Draw)); diff > 1e-6*float64(b.Draw) {
+			t.Errorf("trip %d draw differs beyond tolerance: %v vs %v", i, a.Draw, b.Draw)
+		}
+	}
+}

@@ -77,6 +77,15 @@ type Config struct {
 	// ring. nil (the default) keeps the simulation telemetry-free and
 	// byte-identical to previous releases.
 	Telemetry *telemetry.Sink
+	// Scenario labels this run's simulator metrics (breaker-trip counter,
+	// capped-server gauge) so figure experiments sharing one sink stay
+	// distinguishable. Empty means "default". Ignored without Telemetry.
+	Scenario string
+	// TickWorkers bounds the worker pool that shards the per-server
+	// physics step. 0 uses GOMAXPROCS; 1 forces the serial path. Results
+	// are byte-identical at any setting — servers are independent once
+	// the per-service shared workload state is pre-advanced each tick.
+	TickWorkers int
 }
 
 // recharge is one rack's decaying DCUPS recharge draw.
@@ -111,6 +120,24 @@ type Sim struct {
 
 	serverOrder []string
 	deviceOrder []topology.NodeID
+	// sharedOrder fixes the per-service workload advance order (creation
+	// order, which follows topology server order) so the pre-tick Advance
+	// pass is deterministic.
+	sharedOrder []string
+
+	// Aggregation layer (see aggregate.go): post-order device index,
+	// resolved server list in serverOrder, and the per-tick snapshot all
+	// power consumers read.
+	agg           []aggDev
+	aggIdx        map[topology.NodeID]int
+	snap          snapshot
+	tickList      []*server.Server
+	constSwitches int
+	workers       int
+	// useOracle routes breaker observations through the O(N·depth)
+	// subtree-walk oracle instead of the snapshot; test-only knob proving
+	// the refactor preserved behaviour.
+	useOracle bool
 
 	recorded    map[topology.NodeID]*metrics.Series
 	recordEvery time.Duration
@@ -132,8 +159,9 @@ type Sim struct {
 
 	ticker *simclock.Ticker
 
-	tel       *telemetry.Sink // nil when disabled
-	tripCount *telemetry.Counter
+	tel         *telemetry.Sink // nil when disabled
+	tripCount   *telemetry.Counter
+	cappedGauge *telemetry.Gauge
 }
 
 // New builds a simulation. Servers are assigned per-service shared
@@ -174,7 +202,12 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if cfg.Telemetry.Enabled() {
 		s.tel = cfg.Telemetry
-		s.tripCount = cfg.Telemetry.Counter("dynamo_sim_breaker_trips_total")
+		scenario := cfg.Scenario
+		if scenario == "" {
+			scenario = "default"
+		}
+		s.tripCount = cfg.Telemetry.Counter("dynamo_sim_breaker_trips_total", "scenario", scenario)
+		s.cappedGauge = cfg.Telemetry.Gauge("dynamo_sim_capped_servers", "scenario", scenario)
 	}
 
 	sensorless := map[string]bool{}
@@ -205,6 +238,7 @@ func New(cfg Config) (*Sim, error) {
 			}
 			sh = workload.NewShared(prof, next())
 			s.Shared[svc] = sh
+			s.sharedOrder = append(s.sharedOrder, svc)
 		}
 		gen := workload.NewGenerator(sh, next())
 		s.Gens[string(srvNode.ID)] = gen
@@ -266,6 +300,7 @@ func New(cfg Config) (*Sim, error) {
 		}
 		shared := workload.NewShared(prof, next())
 		s.Shared["network"] = shared
+		s.sharedOrder = append(s.sharedOrder, "network")
 		model := server.MustModel("torswitch")
 		for _, sw := range topo.OfKind(topology.KindSwitch) {
 			gen := workload.NewGenerator(shared, next())
@@ -290,6 +325,8 @@ func New(cfg Config) (*Sim, error) {
 		s.Breakers[dev.ID] = power.NewBreaker(string(dev.ID), class, dev.Rating)
 		s.deviceOrder = append(s.deviceOrder, dev.ID)
 	}
+
+	s.buildAggIndex()
 
 	if cfg.EnableDynamo {
 		hcfg := cfg.Hierarchy
@@ -369,14 +406,34 @@ func (s *Sim) Mark(format string, args ...interface{}) {
 	}
 }
 
-// tick advances physics: server state, device power, breakers, recording.
+// tick advances physics in four strictly ordered stages:
+//
+//  1. per-service shared workload state advances once (so the sharded
+//     stage only reads it);
+//  2. every server steps its physics (load sample, RAPL slew, draw),
+//     sharded across the worker pool — servers are mutually independent;
+//  3. one bottom-up aggregation pass computes every device's draw into
+//     the per-tick snapshot (fixed order, so results don't depend on the
+//     worker count);
+//  4. breakers, validators, recorders, and telemetry all read that
+//     snapshot — no per-device subtree walks anywhere on the hot path.
 func (s *Sim) tick() {
 	now := s.Loop.Now()
-	for _, id := range s.serverOrder {
-		s.Servers[id].Tick(now)
+	for _, svc := range s.sharedOrder {
+		s.Shared[svc].Advance(now)
+	}
+	s.tickServers(now)
+	s.aggregate(now)
+	// read resolves a device draw: snapshot lookup normally, or the
+	// pre-refactor subtree walk when the test oracle is enabled.
+	read := func(devID topology.NodeID) power.Watts {
+		if s.useOracle {
+			return s.devicePowerWalk(devID)
+		}
+		return s.snap.dev[s.aggIdx[devID]]
 	}
 	for _, devID := range s.deviceOrder {
-		draw := s.DevicePower(devID)
+		draw := read(devID)
 		br := s.Breakers[devID]
 		wasTripped := br.Tripped()
 		if br.Observe(draw, now) {
@@ -396,18 +453,25 @@ func (s *Sim) tick() {
 		if s.lastMeter == 0 || now-s.lastMeter >= s.Cfg.ValidatorInterval {
 			s.lastMeter = now
 			for _, devID := range s.deviceOrder {
-				s.meter[devID] = s.DevicePower(devID)
+				s.meter[devID] = read(devID)
 			}
 		}
 	}
 	if s.recordEvery > 0 && (s.lastRecord == 0 || now-s.lastRecord >= s.recordEvery) {
 		s.lastRecord = now
 		for devID, series := range s.recorded {
-			series.Add(now, float64(s.DevicePower(devID)))
+			if s.useOracle {
+				series.Add(now, float64(s.devicePowerWalk(devID)))
+			} else {
+				series.Add(now, float64(s.snapPower(devID)))
+			}
 		}
 		for srvID, series := range s.recordedServers {
 			series.Add(now, float64(s.Servers[srvID].Power()))
 		}
+	}
+	if s.tel != nil {
+		s.cappedGauge.Set(float64(s.CappedServerCount()))
 	}
 }
 
@@ -424,32 +488,20 @@ func (s *Sim) outage(devID topology.NodeID) {
 }
 
 // DevicePower returns the instantaneous true power at a device: the sum
-// of all downstream servers plus top-of-rack switches.
+// of all downstream servers plus top-of-rack switches. For devices this
+// is a snapshot lookup (re-aggregated on demand if the snapshot is stale
+// for the current loop time); non-device nodes fall back to the subtree
+// oracle.
 func (s *Sim) DevicePower(devID topology.NodeID) power.Watts {
-	node := s.Topo.Lookup(devID)
-	if node == nil {
-		return 0
+	if i, ok := s.aggIdx[devID]; ok {
+		s.refresh()
+		return s.snap.dev[i]
 	}
-	var sum power.Watts
-	now := s.Loop.Now()
-	node.Walk(func(n *topology.Node) {
-		switch n.Kind {
-		case topology.KindServer:
-			sum += s.Servers[string(n.ID)].Power()
-		case topology.KindSwitch:
-			if sv, ok := s.Servers[string(n.ID)]; ok {
-				sum += sv.Power() // cappable switch: measured draw
-			} else {
-				sum += s.Cfg.SwitchDraw
-			}
-		case topology.KindRack:
-			sum += s.rechargeAt(n.ID, now)
-		}
-	})
-	return sum
+	return s.devicePowerWalk(devID)
 }
 
-// rechargeAt returns a rack's current DCUPS recharge draw.
+// rechargeAt returns a rack's current DCUPS recharge draw, garbage
+// collecting fully recharged entries. Only the aggregation pass calls it.
 func (s *Sim) rechargeAt(rackID topology.NodeID, now time.Duration) power.Watts {
 	r, ok := s.recharges[rackID]
 	if !ok {
@@ -458,6 +510,20 @@ func (s *Sim) rechargeAt(rackID topology.NodeID, now time.Duration) power.Watts 
 	elapsed := now - r.start
 	if elapsed >= 5*r.tau {
 		delete(s.recharges, rackID)
+		return 0
+	}
+	return power.Watts(float64(r.initial) * math.Exp(-elapsed.Seconds()/r.tau.Seconds()))
+}
+
+// rechargePeek is rechargeAt without the expiry garbage collection, so
+// the oracle walk stays free of side effects.
+func (s *Sim) rechargePeek(rackID topology.NodeID, now time.Duration) power.Watts {
+	r, ok := s.recharges[rackID]
+	if !ok {
+		return 0
+	}
+	elapsed := now - r.start
+	if elapsed >= 5*r.tau {
 		return 0
 	}
 	return power.Watts(float64(r.initial) * math.Exp(-elapsed.Seconds()/r.tau.Seconds()))
@@ -491,6 +557,8 @@ func (s *Sim) RestoreDevice(devID topology.NodeID) {
 			}
 		}
 	})
+	// The new recharge draw changes device power at this very instant.
+	s.invalidateSnapshot()
 	for _, dev := range s.Topo.Devices() {
 		if dev == node || isAncestorOf(node, dev) {
 			if br := s.Breakers[dev.ID]; br.Tripped() {
@@ -510,20 +578,12 @@ func isAncestorOf(root, candidate *topology.Node) bool {
 	return false
 }
 
-// TotalPower returns the whole data center's true draw.
+// TotalPower returns the whole data center's true draw: every server plus
+// the constant draw of non-cappable switches (cappable switches are
+// counted as servers). Served from the per-tick snapshot.
 func (s *Sim) TotalPower() power.Watts {
-	var sum power.Watts
-	for _, id := range s.serverOrder {
-		sum += s.Servers[id].Power()
-	}
-	// Non-cappable switches draw a constant; cappable ones are counted
-	// above as servers.
-	for _, sw := range s.Topo.OfKind(topology.KindSwitch) {
-		if _, ok := s.Servers[string(sw.ID)]; !ok {
-			sum += s.Cfg.SwitchDraw
-		}
-	}
-	return sum
+	s.refresh()
+	return s.snap.total
 }
 
 // Record starts sampling the given devices' true power every interval.
@@ -645,15 +705,17 @@ func (s *Sim) ResetWork() {
 }
 
 // Observations returns a monitoring snapshot of every power device:
-// current draw and breaker limit, ready to feed internal/monitor.
+// current draw and breaker limit, ready to feed internal/monitor. One
+// snapshot refresh serves the whole batch.
 func (s *Sim) Observations() []monitor.Observation {
+	s.refresh()
 	out := make([]monitor.Observation, 0, len(s.deviceOrder))
 	for _, id := range s.deviceOrder {
 		br := s.Breakers[id]
 		out = append(out, monitor.Observation{
 			Device: string(id),
 			Class:  br.Class(),
-			Power:  s.DevicePower(id),
+			Power:  s.snap.dev[s.aggIdx[id]],
 			Limit:  br.Rating(),
 		})
 	}

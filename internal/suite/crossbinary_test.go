@@ -101,11 +101,14 @@ func TestCrossBinaryHierarchy(t *testing.T) {
 		var valid bool
 		msbLoop.Call(func() { agg, valid = msb.LastAggregate() })
 		capped := 0
-		for _, h := range world.servers {
-			if _, ok := h.srv.Limit(); ok {
-				capped++
+		// Server state is confined to the suite loop; read it there.
+		suiteLoop.Call(func() {
+			for _, h := range world.servers {
+				if _, ok := h.srv.Limit(); ok {
+					capped++
+				}
 			}
-		}
+		})
 		if valid && agg > 0 && agg <= 1600 && capped > 0 {
 			return // contract propagated across binaries down to RAPL
 		}

@@ -8,6 +8,7 @@ package suite
 
 import (
 	"fmt"
+	"sync"
 
 	"dynamo/internal/config"
 	"dynamo/internal/core"
@@ -19,8 +20,66 @@ import (
 
 // Dialer connects to a remote endpoint (an agent or an out-of-suite
 // controller). Production uses rpc.DialTCP; tests inject an in-process
-// network's Dial.
+// network's Dial. Build dials children concurrently, so a Dialer must be
+// safe for concurrent use (rpc.DialTCP and rpc.Network.Dial both are).
 type Dialer func(addr string) (rpc.Client, error)
+
+// dialWorkers bounds Build's concurrent child dialing. Large suites have
+// thousands of agents; dialing them serially dominated cold-start.
+const dialWorkers = 16
+
+// dialJob is one endpoint Build must connect to, with the error context
+// of the controller configuration that references it.
+type dialJob struct {
+	addr string
+	desc string
+}
+
+// dialAll connects every job through a bounded worker pool. On any
+// failure it waits for in-flight dials, closes every connection that did
+// succeed (a failed suite assembly must not leak sockets), and returns
+// the error of the first failed job in configuration order.
+func dialAll(dial Dialer, jobs []dialJob) ([]rpc.Client, error) {
+	clients := make([]rpc.Client, len(jobs))
+	errs := make([]error, len(jobs))
+	w := dialWorkers
+	if w > len(jobs) {
+		w = len(jobs)
+	}
+	if w > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range idx {
+					clients[j], errs[j] = dial(jobs[j].addr)
+				}
+			}()
+		}
+		for j := range jobs {
+			idx <- j
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for j := range jobs {
+			clients[j], errs[j] = dial(jobs[j].addr)
+		}
+	}
+	for j, err := range errs {
+		if err != nil {
+			for _, cl := range clients {
+				if cl != nil {
+					cl.Close()
+				}
+			}
+			return nil, fmt.Errorf("suite: dial %s: %w", jobs[j].desc, err)
+		}
+	}
+	return clients, nil
+}
 
 // Assembly is a built suite: all controllers consolidated on one loop.
 type Assembly struct {
@@ -48,11 +107,48 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 		Uppers: map[string]*core.Upper{},
 		Intra:  rpc.NewNetwork(loop, 0, 1),
 	}
-	var dialed []rpc.Client
-	closeDialed := func() {
-		for _, cl := range dialed {
-			cl.Close()
+
+	// Dial every remote endpoint — leaf agents and uppers' out-of-suite
+	// children — through the bounded worker pool before assembling
+	// anything. Jobs are collected in configuration order so error
+	// reporting and client assignment stay deterministic.
+	// Job order mirrors assembly order exactly — all leaf agents first,
+	// then uppers' remote children — so take() below hands each
+	// configuration entry its own connection.
+	var jobs []dialJob
+	for _, c := range cfg.Controllers {
+		if c.Level != "leaf" {
+			continue
 		}
+		for _, ag := range c.Agents {
+			jobs = append(jobs, dialJob{
+				addr: ag.Addr,
+				desc: fmt.Sprintf("agent %s (%s)", ag.ID, ag.Addr),
+			})
+		}
+	}
+	for _, c := range cfg.Controllers {
+		if c.Level != "upper" {
+			continue
+		}
+		for _, ch := range c.Children {
+			if ch.Device == "" {
+				jobs = append(jobs, dialJob{
+					addr: ch.Addr,
+					desc: fmt.Sprintf("child %s", ch.Addr),
+				})
+			}
+		}
+	}
+	clients, err := dialAll(dial, jobs)
+	if err != nil {
+		return nil, err
+	}
+	nextClient := 0
+	take := func() rpc.Client {
+		cl := clients[nextClient]
+		nextClient++
+		return cl
 	}
 
 	// Pass 1: leaves (they have no intra-suite dependencies).
@@ -62,14 +158,8 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 		}
 		var refs []core.AgentRef
 		for _, ag := range c.Agents {
-			cl, err := dial(ag.Addr)
-			if err != nil {
-				closeDialed()
-				return nil, fmt.Errorf("suite: dial agent %s (%s): %w", ag.ID, ag.Addr, err)
-			}
-			dialed = append(dialed, cl)
 			refs = append(refs, core.AgentRef{
-				ServerID: ag.ID, Service: ag.Service, Generation: ag.Generation, Client: cl,
+				ServerID: ag.ID, Service: ag.Service, Generation: ag.Generation, Client: take(),
 			})
 		}
 		lc := core.LeafConfig{
@@ -106,13 +196,7 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 				cl = a.Intra.Dial(core.CtrlAddr(ch.Device))
 			} else {
 				id = ch.Addr
-				var err error
-				cl, err = dial(ch.Addr)
-				if err != nil {
-					closeDialed()
-					return nil, fmt.Errorf("suite: dial child %s: %w", ch.Addr, err)
-				}
-				dialed = append(dialed, cl)
+				cl = take()
 			}
 			children = append(children, core.ChildRef{
 				ID: id, Client: cl, Quota: power.Watts(ch.QuotaWatts),

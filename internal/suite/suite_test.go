@@ -2,6 +2,8 @@ package suite
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -165,5 +167,78 @@ func TestControllerLookup(t *testing.T) {
 	}
 	if asm.Controller("ghost") != nil {
 		t.Error("unknown device should be nil")
+	}
+}
+
+// trackingClient wraps a client and records Close, so tests can assert
+// the leak-free error path.
+type trackingClient struct {
+	rpc.Client
+	mu     *sync.Mutex
+	closed *int
+}
+
+func (c trackingClient) Close() error {
+	c.mu.Lock()
+	*c.closed++
+	c.mu.Unlock()
+	return c.Client.Close()
+}
+
+// TestBuildParallelDialSlowAndFailingChild drives Build through a dialer
+// where every dial is slow and one fails: the pool must dial children
+// concurrently (wall-clock far below the serial sum), surface the failure,
+// and close every connection that did succeed.
+func TestBuildParallelDialSlowAndFailingChild(t *testing.T) {
+	w := newWorld(t)
+	cfg := suiteDoc(8) // 16 agents across two leaves
+	for _, c := range cfg.Controllers {
+		for _, a := range c.Agents {
+			w.addAgent(a.ID, 0.5)
+		}
+	}
+	const dialDelay = 30 * time.Millisecond
+
+	var mu sync.Mutex
+	dialedOK, closed := 0, 0
+	failAddr := cfg.Controllers[1].Agents[3].Addr
+	slow := func(fail bool) Dialer {
+		return func(addr string) (rpc.Client, error) {
+			time.Sleep(dialDelay)
+			if fail && addr == failAddr {
+				return nil, fmt.Errorf("connection refused")
+			}
+			mu.Lock()
+			dialedOK++
+			mu.Unlock()
+			return trackingClient{Client: w.ext.Dial(addr), mu: &mu, closed: &closed}, nil
+		}
+	}
+
+	// Failure path: the error propagates with the config context and every
+	// successful dial is closed.
+	if _, err := Build(w.loop, cfg, slow(true), nil, nil); err == nil {
+		t.Fatal("expected dial failure to propagate")
+	} else if !strings.Contains(err.Error(), failAddr) {
+		t.Fatalf("error %q does not name failing address %s", err, failAddr)
+	}
+	mu.Lock()
+	if closed != dialedOK {
+		t.Fatalf("leak: %d dials succeeded, %d closed", dialedOK, closed)
+	}
+	mu.Unlock()
+
+	// Success path: 16 slow dials through the pool must take far less than
+	// the 480 ms serial sum.
+	start := time.Now()
+	a, err := Build(w.loop, cfg, slow(false), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 8*dialDelay {
+		t.Errorf("parallel dial took %v, serial would be %v", elapsed, 16*dialDelay)
+	}
+	if a.NumControllers() != 3 {
+		t.Fatalf("controllers = %d, want 3", a.NumControllers())
 	}
 }

@@ -313,3 +313,59 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Errorf("trace = %+v", payload.Trace)
 	}
 }
+
+// TestRingStormSampling floods the ring with rpc_failure events at 10:1
+// against scenario markers — the outage-storm shape — and checks that the
+// storm is throttled to its share instead of evicting everything else.
+func TestRingStormSampling(t *testing.T) {
+	const cap = 256
+	ring := NewRing(cap)
+	const scenarios = 100 // below the half-capacity fair share
+	for i := 0; i < scenarios; i++ {
+		ring.Add(Event{Type: EventScenario, Detail: fmt.Sprintf("s%d", i)})
+		for j := 0; j < 10; j++ {
+			ring.Add(Event{Type: EventRPCFailure, Detail: "pull timeout"})
+		}
+	}
+	// Pre-sampling FIFO would retain only the scenario markers among the
+	// last 256 events (~23 of them). With per-type sampling the storm can
+	// never evict another type, so every marker survives.
+	got := ring.OfType(EventScenario, 0)
+	if len(got) != scenarios {
+		t.Fatalf("scenario events retained = %d, want all %d", len(got), scenarios)
+	}
+	for i, e := range got {
+		if want := fmt.Sprintf("s%d", i); e.Detail != want {
+			t.Fatalf("scenario %d = %q, want %q", i, e.Detail, want)
+		}
+	}
+	if ring.Dropped(EventScenario) != 0 {
+		t.Errorf("scenario events dropped: %d", ring.Dropped(EventScenario))
+	}
+	// The storm type still holds the rest of the ring (sampled, not
+	// starved) and records its drops.
+	fails := ring.OfType(EventRPCFailure, 0)
+	if len(fails) != cap-scenarios {
+		t.Errorf("storm type holds %d slots, want %d", len(fails), cap-scenarios)
+	}
+	if ring.Dropped(EventRPCFailure) == 0 {
+		t.Error("no drops recorded for the storming type")
+	}
+	// Sampling stretches the storm window: retained failures span far
+	// more emissions than the last cap-scenarios of them.
+	total := ring.Dropped(EventRPCFailure) + uint64(len(fails))
+	if total < uint64(2*(cap-scenarios)) {
+		t.Errorf("storm accounting covers %d events, want >= %d", total, 2*(cap-scenarios))
+	}
+	// Events(0) stays oldest-first by sequence despite in-place storm
+	// replacement.
+	evs := ring.Events(0)
+	if len(evs) != cap {
+		t.Fatalf("ring len = %d, want %d", len(evs), cap)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -60,15 +61,30 @@ type Event struct {
 	Detail string `json:"detail"`
 }
 
+// stormSampleEvery is the admission rate for a storming event type: once a
+// type holds at least half the ring, only every stormSampleEvery-th event
+// of that type is retained (the rest are counted in Dropped).
+const stormSampleEvery = 10
+
 // Ring is a bounded, concurrency-safe ring of trace events. Writers come
 // from event-loop goroutines; readers are HTTP exposition handlers.
+//
+// Eviction is fair across event types: a type that floods the ring (the
+// canonical case is rpc_failure during an outage storm) is capped at half
+// the capacity. Beyond that share its events are sampled 1-in-N and each
+// admitted one replaces the oldest event of the same type, so scenario
+// markers and control decisions survive arbitrarily long failure storms.
 type Ring struct {
-	mu   sync.Mutex
-	cap  int
-	recs []Event
-	next int
-	full bool
-	seq  uint64
+	mu        sync.Mutex
+	cap       int
+	recs      []Event
+	next      int
+	full      bool
+	scrambled bool // storm replacement broke slot order; evict by Seq scan
+	seq       uint64
+	counts    map[EventType]int    // retained events per type
+	seen      map[EventType]uint64 // over-share arrivals per type (for sampling)
+	dropped   map[EventType]uint64 // sampled-out events per type
 }
 
 // NewRing creates a ring retaining the last n events (n <= 0 → 2048).
@@ -76,10 +92,18 @@ func NewRing(n int) *Ring {
 	if n <= 0 {
 		n = 2048
 	}
-	return &Ring{cap: n, recs: make([]Event, 0, n)}
+	return &Ring{
+		cap:     n,
+		recs:    make([]Event, 0, n),
+		counts:  map[EventType]int{},
+		seen:    map[EventType]uint64{},
+		dropped: map[EventType]uint64{},
+	}
 }
 
-// Add appends an event, evicting the oldest when full. Nil-safe.
+// Add appends an event. When the ring is full, an event of a type holding
+// less than half the ring evicts the globally oldest event (plain FIFO); a
+// storming type is sampled and replaces only its own oldest event. Nil-safe.
 func (r *Ring) Add(e Event) {
 	if r == nil {
 		return
@@ -90,11 +114,94 @@ func (r *Ring) Add(e Event) {
 	e.Seq = r.seq
 	if len(r.recs) < r.cap {
 		r.recs = append(r.recs, e)
+		r.counts[e.Type]++
 		return
 	}
-	r.recs[r.next] = e
-	r.next = (r.next + 1) % r.cap
 	r.full = true
+	if n := r.counts[e.Type]; n*2 >= r.cap && n < len(r.recs) {
+		// Storming type (at/over its half-capacity share while other
+		// types hold slots): admit 1-in-stormSampleEvery and displace
+		// its own oldest event, never someone else's.
+		r.seen[e.Type]++
+		if r.seen[e.Type]%stormSampleEvery != 0 {
+			r.dropped[e.Type]++
+			return
+		}
+		if i := r.oldestOfType(e.Type); i >= 0 {
+			r.replaceSlot(i, e)
+			return
+		}
+	}
+	// Under-share (or single-type) event: reclaim a slot from the most
+	// over-share type if there is one, else plain FIFO eviction.
+	vi := -1
+	if t, n := r.maxCountType(); t != e.Type && n*2 > r.cap {
+		vi = r.oldestOfType(t)
+	}
+	if vi < 0 {
+		vi = r.next
+		if r.scrambled {
+			// Storm replacements broke slot order; find the true oldest.
+			vi = r.oldestOfType("")
+		}
+	}
+	r.counts[r.recs[vi].Type]--
+	r.counts[e.Type]++
+	r.replaceSlot(vi, e)
+}
+
+// replaceSlot overwrites one retained event, keeping the FIFO pointer
+// coherent: replacing the slot the pointer was at advances it; replacing
+// any other slot marks the ring scrambled so eviction switches to Seq
+// scans.
+func (r *Ring) replaceSlot(i int, e Event) {
+	r.recs[i] = e
+	if i == r.next && !r.scrambled {
+		r.next = (r.next + 1) % r.cap
+	} else if i != r.next {
+		r.scrambled = true
+	}
+}
+
+// maxCountType returns the type holding the most retained slots (ties
+// broken by type name for determinism) and its count.
+func (r *Ring) maxCountType() (EventType, int) {
+	var bt EventType
+	bn := 0
+	for t, n := range r.counts {
+		if n > bn || (n == bn && t < bt) {
+			bt, bn = t, n
+		}
+	}
+	return bt, bn
+}
+
+// oldestOfType returns the slot index of the lowest-Seq retained event of
+// the given type ("" matches any type), or -1. O(cap) scan; runs only once
+// a storm has replaced events in place — a ring that has never stormed
+// keeps the O(1) FIFO path.
+func (r *Ring) oldestOfType(typ EventType) int {
+	best, bestSeq := -1, uint64(0)
+	for i := range r.recs {
+		if typ != "" && r.recs[i].Type != typ {
+			continue
+		}
+		if best < 0 || r.recs[i].Seq < bestSeq {
+			best, bestSeq = i, r.recs[i].Seq
+		}
+	}
+	return best
+}
+
+// Dropped returns how many events of a type were sampled out during
+// storms (0 for a nil ring or an unthrottled type).
+func (r *Ring) Dropped(typ EventType) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped[typ]
 }
 
 // Len returns the number of retained events.
@@ -108,19 +215,17 @@ func (r *Ring) Len() int {
 }
 
 // Events returns up to n retained events, oldest-first (n <= 0 → all).
+// Storm sampling replaces events in place, so slot order is not emission
+// order; events are sorted by sequence number.
 func (r *Ring) Events(n int) []Event {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([]Event, 0, len(r.recs))
-	if r.full {
-		out = append(out, r.recs[r.next:]...)
-		out = append(out, r.recs[:r.next]...)
-	} else {
-		out = append(out, r.recs...)
-	}
+	out = append(out, r.recs...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	if n > 0 && len(out) > n {
 		out = out[len(out)-n:]
 	}

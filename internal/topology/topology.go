@@ -96,6 +96,15 @@ type Node struct {
 	// Server metadata; meaningful only when Kind == KindServer.
 	Service    string
 	Generation string
+
+	// Aggregation index, precomputed by New so per-tick power aggregation
+	// never re-walks the tree. directLeaves are the server/switch nodes
+	// attached to this node without an intervening breaker-protected
+	// device; childDevices are the nearest breaker-protected descendants.
+	// A device's draw is the sum of its direct leaves plus its child
+	// devices' draws (plus any device-local draw such as DCUPS recharge).
+	directLeaves []*Node
+	childDevices []*Node
 }
 
 // IsDevice reports whether the node is a breaker-protected power device.
@@ -122,6 +131,16 @@ func (n *Node) Walk(visit func(*Node)) {
 		c.Walk(visit)
 	}
 }
+
+// DirectLeaves returns the server and switch nodes attached to n without
+// an intervening breaker-protected device, in tree order. Precomputed at
+// index time; callers must not mutate the returned slice.
+func (n *Node) DirectLeaves() []*Node { return n.directLeaves }
+
+// ChildDevices returns the nearest breaker-protected devices below n, in
+// tree order. Precomputed at index time; callers must not mutate the
+// returned slice.
+func (n *Node) ChildDevices() []*Node { return n.childDevices }
 
 // Level returns the node's depth from the root (root = 0).
 func (n *Node) Level() int {
@@ -152,6 +171,7 @@ type Topology struct {
 	byID    map[NodeID]*Node
 	byKind  map[Kind][]*Node
 	servers []*Node
+	devPost []*Node
 }
 
 // New indexes a tree rooted at root. It validates ID uniqueness and parent
@@ -186,7 +206,34 @@ func New(root *Node) (*Topology, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.buildAggIndex(root)
 	return t, nil
+}
+
+// buildAggIndex computes, bottom-up, each node's directly attached leaves
+// (servers/switches) and nearest descendant devices, and records devices
+// in post-order so a single forward pass over DevicesPostOrder can
+// aggregate power for the whole hierarchy with children always computed
+// before their parents.
+func (t *Topology) buildAggIndex(n *Node) {
+	for _, c := range n.Children {
+		t.buildAggIndex(c)
+	}
+	for _, c := range n.Children {
+		switch {
+		case c.IsDevice():
+			n.childDevices = append(n.childDevices, c)
+		case c.Kind == KindServer || c.Kind == KindSwitch:
+			n.directLeaves = append(n.directLeaves, c)
+		default:
+			// Non-device interior node: hoist its leaves and devices.
+			n.directLeaves = append(n.directLeaves, c.directLeaves...)
+			n.childDevices = append(n.childDevices, c.childDevices...)
+		}
+	}
+	if n.IsDevice() {
+		t.devPost = append(t.devPost, n)
+	}
 }
 
 // MustNew is New for known-good trees (builders, tests).
@@ -218,6 +265,12 @@ func (t *Topology) Devices() []*Node {
 	}
 	return out
 }
+
+// DevicesPostOrder returns all breaker-protected devices in depth-first
+// post-order: every device appears after all devices in its subtree, so a
+// single forward pass can fold child draws into parents (the per-tick
+// bottom-up aggregation). Callers must not mutate the returned slice.
+func (t *Topology) DevicesPostOrder() []*Node { return t.devPost }
 
 // ServicesPresent returns the sorted set of service names in the topology.
 func (t *Topology) ServicesPresent() []string {

@@ -280,3 +280,56 @@ func TestFullSpecIsLarge(t *testing.T) {
 		t.Error("node count inconsistent")
 	}
 }
+
+func TestDevicesPostOrderChildrenBeforeParents(t *testing.T) {
+	topo := DefaultSpec().MustBuild()
+	post := topo.DevicesPostOrder()
+	if len(post) != len(topo.Devices()) {
+		t.Fatalf("post-order has %d devices, Devices() has %d", len(post), len(topo.Devices()))
+	}
+	seen := map[NodeID]bool{}
+	for _, d := range post {
+		for _, c := range d.ChildDevices() {
+			if !seen[c.ID] {
+				t.Fatalf("device %s appears before its child %s", d.ID, c.ID)
+			}
+		}
+		if seen[d.ID] {
+			t.Fatalf("device %s appears twice", d.ID)
+		}
+		seen[d.ID] = true
+	}
+}
+
+func TestAggIndexCoversEveryLeafOnce(t *testing.T) {
+	topo := DefaultSpec().MustBuild()
+	// Every server and switch must be a direct leaf of exactly one device
+	// (or of the root), so the bottom-up pass counts each draw once.
+	count := map[NodeID]int{}
+	for _, d := range topo.DevicesPostOrder() {
+		for _, l := range d.DirectLeaves() {
+			count[l.ID]++
+		}
+	}
+	for _, l := range topo.Root.DirectLeaves() {
+		count[l.ID]++
+	}
+	want := len(topo.Servers()) + len(topo.OfKind(KindSwitch))
+	if len(count) != want {
+		t.Fatalf("agg index covers %d leaves, want %d", len(count), want)
+	}
+	for id, n := range count {
+		if n != 1 {
+			t.Errorf("leaf %s attached to %d devices, want 1", id, n)
+		}
+	}
+	// The subtree oracle agrees: a rack's direct leaves are its servers
+	// plus its switch.
+	rack := topo.OfKind(KindRack)[0]
+	if got, want := len(rack.DirectLeaves()), len(rack.Servers())+1; got != want {
+		t.Errorf("rack direct leaves = %d, want %d", got, want)
+	}
+	if len(rack.ChildDevices()) != 0 {
+		t.Errorf("rack has child devices %v, want none", rack.ChildDevices())
+	}
+}

@@ -195,8 +195,10 @@ func (p *ou) step(dtSec float64, rng *rand.Rand) float64 {
 }
 
 // Shared is the per-service state shared by all of a service's generators:
-// the common-mode OU process and the service's diurnal phase. Advance is
-// driven by the first generator to observe each new timestamp.
+// the common-mode OU process and the service's diurnal phase. It advances
+// at most once per distinct timestamp — either explicitly via Advance
+// (the simulator's pre-tick pass) or lazily by the first generator Step
+// to observe the timestamp.
 type Shared struct {
 	profile Profile
 	rng     *rand.Rand
@@ -232,6 +234,15 @@ func (s *Shared) SetLoadFactor(f float64) {
 
 // LoadFactor returns the current load factor.
 func (s *Shared) LoadFactor() float64 { return s.loadFactor }
+
+// Advance moves the common-mode process to time now. The simulator calls
+// this once per physics tick, before any generator Step, so that during a
+// sharded (parallel) tick every Step observes now <= last and the shared
+// state is strictly read-only: concurrent Steps of the same service's
+// generators never race on the shared RNG or OU state. Calling Step
+// without a prior Advance remains correct — the first generator to see a
+// new timestamp advances the shared state exactly once either way.
+func (s *Shared) Advance(now time.Duration) { s.advance(now) }
 
 // advance moves the common-mode process to time now.
 func (s *Shared) advance(now time.Duration) {
