@@ -61,6 +61,10 @@ func main() {
 		}
 	}()
 
+	// A 1-worker cohort keeps the wall-clock daemon's inline execution
+	// semantics while routing the cycle through the same phase machinery
+	// (and phase histograms) as the simulated hierarchy.
+	sched := core.NewCohortScheduler(loop, 1, sink)
 	leaf := core.NewLeaf(loop, core.LeafConfig{
 		DeviceID:  *device,
 		Limit:     power.Watts(*limit),
@@ -68,6 +72,7 @@ func main() {
 		DryRun:    *dryRun,
 		Telemetry: sink,
 		Alerts:    alertLogger(logger),
+		Scheduler: sched,
 	}, refs)
 	loop.Post(leaf.Start)
 

@@ -45,6 +45,7 @@ import (
 	"dynamo/internal/server"
 	"dynamo/internal/sim"
 	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
 	"dynamo/internal/workload"
 )
@@ -137,6 +138,11 @@ type (
 	Alert = core.Alert
 	// AlertFunc receives alerts.
 	AlertFunc = core.AlertFunc
+	// CohortScheduler batches same-instant controller cycles and fans
+	// their observe+decide phases over a bounded worker pool.
+	CohortScheduler = core.CohortScheduler
+	// TelemetrySink collects metrics and decision traces (nil disables).
+	TelemetrySink = telemetry.Sink
 	// Failover supervises a primary/backup controller pair.
 	Failover = core.Failover
 	// FailoverConfig configures failover supervision.
@@ -231,6 +237,14 @@ func NewUpperController(loop Loop, cfg UpperConfig, children []ChildRef) *UpperC
 // mirroring the topology, and registers each on the network.
 func BuildHierarchy(loop Loop, net *RPCNetwork, topo *Topology, cfg HierarchyConfig) (*Hierarchy, error) {
 	return core.BuildHierarchy(loop, net, topo, cfg)
+}
+
+// NewCohortScheduler creates a scheduler that batches same-instant
+// controller cycles and fans their observe+decide phases across workers
+// (1 keeps phases on the loop goroutine). Attach it to controllers via
+// LeafConfig.Scheduler / UpperConfig.Scheduler.
+func NewCohortScheduler(loop Loop, workers int, tel *TelemetrySink) *CohortScheduler {
+	return core.NewCohortScheduler(loop, workers, tel)
 }
 
 // NewSimulation builds a full simulated data center.

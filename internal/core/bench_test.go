@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"dynamo/internal/agent"
+	"dynamo/internal/power"
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// benchLeaf is one pre-assembled controller with the raw pull responses of
+// its fleet and the resolved agent states, aligned with the leaf's agent
+// order so per-cycle priming is two pointer writes per agent.
+type benchLeaf struct {
+	leaf   *Leaf
+	raws   [][]byte
+	states []*agentState
+}
+
+// buildControlCycleBench assembles nServers/benchPerLeaf leaf controllers
+// on one loop with pre-marshaled pull responses, bypassing the RPC layer:
+// the benchmark measures the control cycle itself (decode, estimation,
+// aggregation, band decision, capping plan, journal) — the work the cohort
+// scheduler fans out — not network delivery.
+func buildControlCycleBench(nServers int, inline bool) (*simclock.SimLoop, *CohortScheduler, []benchLeaf) {
+	const perLeaf = 100
+	loop := simclock.NewSimLoop()
+	loop.SetStepLimit(0)
+	sched := NewCohortScheduler(loop, runtime.GOMAXPROCS(0), nil)
+	sched.SetInline(inline)
+
+	nLeaves := nServers / perLeaf
+	leaves := make([]benchLeaf, 0, nLeaves)
+	for li := 0; li < nLeaves; li++ {
+		var refs []AgentRef
+		raws := make([][]byte, 0, perLeaf)
+		for i := 0; i < perLeaf; i++ {
+			id := fmt.Sprintf("bench-%03d-%03d", li, i)
+			refs = append(refs, AgentRef{ServerID: id, Service: "web", Generation: "haswell2015"})
+			// ~280 W per server with a little spread; the fleet sits above
+			// the limit below, so every cycle computes a full capping plan.
+			resp := &agent.ReadPowerResponse{
+				TotalWatts: 270 + float64(i%20),
+				CPUWatts:   150, MemoryWatts: 60, OtherWatts: 50, ACDCLossWatts: 15,
+				HasSensor: true, CPUUtil: 0.8,
+				Service: "web", Generation: "haswell2015",
+			}
+			raws = append(raws, wire.Marshal(resp))
+		}
+		// DryRun: plans are fully computed and journaled but nothing is
+		// actuated, so iterations are identical and no RPC clients are
+		// needed.
+		leaf := NewLeaf(loop, LeafConfig{
+			DeviceID:  fmt.Sprintf("rpp-%03d", li),
+			Limit:     power.Watts(perLeaf * 260),
+			DryRun:    true,
+			Scheduler: sched,
+		}, refs)
+		states := make([]*agentState, 0, perLeaf)
+		for _, id := range leaf.order {
+			states = append(states, leaf.agents[id])
+		}
+		leaves = append(leaves, benchLeaf{leaf: leaf, raws: raws, states: states})
+	}
+	return loop, sched, leaves
+}
+
+// runControlCycle primes every agent's raw response and completes every
+// leaf's collection at one virtual instant — exactly the state the pull
+// cycle leaves behind — then drains the loop so the cohort flush (or the
+// inline phases) run to completion.
+func runControlCycle(loop *simclock.SimLoop, leaves []benchLeaf, until time.Duration) {
+	loop.Post(func() {
+		for _, bl := range leaves {
+			for i, st := range bl.states {
+				st.rawValid = true
+				st.raw = bl.raws[i]
+			}
+			bl.leaf.complete()
+		}
+	})
+	loop.RunUntil(until)
+}
+
+// BenchmarkControlCycle measures one full control cycle across the fleet:
+// every leaf's observe+decide+act for 2 k and 10 k servers, inline (serial,
+// the pre-phase execution model) versus cohort (observe+decide fanned over
+// GOMAXPROCS workers). The acceptance bar for the phased refactor is
+// cohort ≥ 2x inline at 10 k servers on a multicore machine.
+func BenchmarkControlCycle(b *testing.B) {
+	for _, size := range []int{2000, 10000} {
+		for _, mode := range []string{"inline", "cohort"} {
+			b.Run(fmt.Sprintf("servers=%d/%s", size, mode), func(b *testing.B) {
+				loop, _, leaves := buildControlCycleBench(size, mode == "inline")
+				// Warm one cycle so lazily sized scratch state is allocated.
+				runControlCycle(loop, leaves, time.Millisecond)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runControlCycle(loop, leaves, time.Duration(i+2)*time.Millisecond)
+				}
+			})
+		}
+	}
+}

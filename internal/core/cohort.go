@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
+)
+
+// The control plane runs every controller cycle in three explicit phases,
+// mirroring the split the physics tick already makes between the sharded
+// server step and the serial aggregation pass:
+//
+//   - observe: collect pull responses, decode wire payloads, run failure
+//     estimation and aggregation. Pure with respect to shared state — a
+//     controller's observe phase reads and writes only that controller's
+//     own fields, so observes of different controllers can run
+//     concurrently.
+//   - decide: evaluate the three-band (or PID) algorithm and compute the
+//     full actuation plan (per-server caps, per-child contract cuts) into
+//     a plan value. Runs fused with observe on the same worker, since it
+//     shares the same purity contract.
+//   - act: send cap/uncap and contract RPCs, write the decision journal,
+//     emit alerts and telemetry. Acts touch shared state (the RPC
+//     network, the alert sink, the trace ring) and therefore run serially
+//     on the loop goroutine, in fixed device order.
+//
+// The CohortScheduler groups all controllers whose collection completes at
+// the same virtual instant — all leaves share a 3 s period and all uppers
+// a 9 s period, so whole levels of the hierarchy become ready together —
+// and fans their observe+decide phases across a bounded worker pool before
+// applying the act phases serially. Because observes are mutually
+// independent and acts run in a fixed order at an unchanged virtual time,
+// same-seed runs are byte-identical at any worker count and any
+// GOMAXPROCS: the same contract the sharded physics tick provides.
+
+// phasedController is the phase surface Leaf and Upper expose to the
+// scheduler. runObserveDecide may execute on a worker goroutine and must
+// only touch the controller's own state; runAct always executes on the
+// loop goroutine.
+type phasedController interface {
+	DeviceID() string
+	runObserveDecide(now time.Duration)
+	runAct(now time.Duration)
+}
+
+// phasedCycle is one controller whose collection completed this instant.
+type phasedCycle struct {
+	order int // registration order — the fixed device order for acts
+	ctrl  phasedController
+}
+
+// CohortScheduler batches same-instant controller cycles and runs their
+// phases. A nil *CohortScheduler is valid everywhere a scheduler is
+// accepted and means fully inline execution (observe+decide+act run
+// synchronously when the cycle completes), which is the daemons' and
+// standalone controllers' behavior.
+//
+// The scheduler is loop-confined: Submit and flush run on the loop
+// goroutine. Worker goroutines live only inside a single flush event (the
+// flush blocks on them), so no loop callback ever interleaves with an
+// observe phase.
+type CohortScheduler struct {
+	loop    simclock.Loop
+	workers int
+	inline  bool
+
+	nextOrder int
+	pending   []phasedCycle
+	armed     bool
+
+	// telemetry (nil when disabled)
+	tel *cohortInstr
+}
+
+// cohortInstr holds the scheduler's telemetry instruments.
+type cohortInstr struct {
+	flushes    *telemetry.Counter
+	observeDur *telemetry.Histogram
+	actDur     *telemetry.Histogram
+	cohortSize *telemetry.Histogram
+}
+
+// PhaseBuckets are the latency-shaped histogram bounds (seconds) for the
+// per-phase duration histograms: control phases run tens of microseconds
+// to tens of milliseconds, far below the RPC-scale DefBuckets.
+var PhaseBuckets = telemetry.LadderBuckets(5e-6, 0.25)
+
+// CohortSizeBuckets are the bounds for the cohort-size histogram.
+var CohortSizeBuckets = telemetry.ExpBuckets(1, 2, 11)
+
+// NewCohortScheduler creates a scheduler fanning observe+decide phases
+// over the given number of workers (values below 1 are treated as 1: the
+// phases run on the loop goroutine, still batched per instant). The
+// telemetry sink may be nil.
+func NewCohortScheduler(loop simclock.Loop, workers int, tel *telemetry.Sink) *CohortScheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &CohortScheduler{loop: loop, workers: workers}
+	if tel.Enabled() {
+		s.tel = &cohortInstr{
+			flushes:    tel.Counter("dynamo_control_cohort_flushes_total"),
+			observeDur: tel.Histogram("dynamo_control_phase_seconds", PhaseBuckets, "phase", "observe"),
+			actDur:     tel.Histogram("dynamo_control_phase_seconds", PhaseBuckets, "phase", "act"),
+			cohortSize: tel.Histogram("dynamo_control_cohort_size", CohortSizeBuckets),
+		}
+	}
+	return s
+}
+
+// Workers returns the observe worker count.
+func (s *CohortScheduler) Workers() int {
+	if s == nil {
+		return 1
+	}
+	return s.workers
+}
+
+// SetInline switches the scheduler to inline mode: Submit runs
+// observe+decide+act synchronously, exactly as a controller without a
+// scheduler would. The phased-vs-inline equivalence tests use it; call it
+// before any controller starts.
+func (s *CohortScheduler) SetInline(inline bool) { s.inline = inline }
+
+// register assigns the next device-order index. Called from controller
+// constructors; the construction order (leaves first, then uppers,
+// topology order within each level) is the fixed act order.
+func (s *CohortScheduler) register() int {
+	n := s.nextOrder
+	s.nextOrder++
+	return n
+}
+
+// submit hands a completed collection to the scheduler. In inline mode
+// both phases run immediately (the completion instant is the phase
+// instant); otherwise the cycle joins the cohort flushed at this same
+// virtual instant. Controllers without a scheduler never reach here —
+// they run their phases directly.
+func (s *CohortScheduler) submit(c phasedController, order int) {
+	if s.inline {
+		now := s.loop.Now()
+		c.runObserveDecide(now)
+		c.runAct(now)
+		return
+	}
+	s.pending = append(s.pending, phasedCycle{order: order, ctrl: c})
+	if !s.armed {
+		s.armed = true
+		s.loop.After(0, s.flush)
+	}
+}
+
+// flush runs the cohort that accumulated at the current instant: observe+
+// decide fanned across the worker pool, acts serial in fixed device order.
+func (s *CohortScheduler) flush() {
+	batch := s.pending
+	s.pending = nil
+	s.armed = false
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].order < batch[j].order })
+	now := s.loop.Now()
+
+	var tObserve time.Time
+	if s.tel != nil {
+		tObserve = time.Now()
+	}
+	s.runObserves(batch, now)
+	var tAct time.Time
+	if s.tel != nil {
+		tAct = time.Now()
+		s.tel.observeDur.Observe(tAct.Sub(tObserve).Seconds())
+	}
+	for _, pc := range batch {
+		pc.ctrl.runAct(now)
+	}
+	if s.tel != nil {
+		s.tel.actDur.Observe(time.Since(tAct).Seconds())
+		s.tel.cohortSize.Observe(float64(len(batch)))
+		s.tel.flushes.Inc()
+	}
+}
+
+// runObserves executes the observe+decide phases of the batch across the
+// worker pool. Each controller is observed exactly once by one goroutine;
+// controllers are mutually independent, so results are byte-identical to
+// the serial loop at any worker count.
+func (s *CohortScheduler) runObserves(batch []phasedCycle, now time.Duration) {
+	n := len(batch)
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for _, pc := range batch {
+			pc.ctrl.runObserveDecide(now)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(list []phasedCycle) {
+			defer wg.Done()
+			for _, pc := range list {
+				pc.ctrl.runObserveDecide(now)
+			}
+		}(batch[start:end])
+	}
+	wg.Wait()
+}

@@ -44,6 +44,12 @@ type HierarchyConfig struct {
 	Validators func(id topology.NodeID) func() (power.Watts, bool)
 	// Telemetry propagates to every controller (nil disables).
 	Telemetry *telemetry.Sink
+	// ControlWorkers sizes the cohort scheduler's worker pool for the
+	// observe+decide phases of controllers due at the same virtual instant
+	// (mirroring sim.Config.TickWorkers for the physics step). 0 or 1
+	// batches cohorts but runs their phases on the loop goroutine; results
+	// are byte-identical at any value.
+	ControlWorkers int
 }
 
 // Hierarchy is a built controller tree mirroring the power topology
@@ -52,6 +58,10 @@ type HierarchyConfig struct {
 type Hierarchy struct {
 	Leaves map[topology.NodeID]*Leaf
 	Uppers map[topology.NodeID]*Upper
+
+	// Sched is the cohort scheduler shared by every controller in the
+	// hierarchy (nil when the hierarchy was built without one).
+	Sched *CohortScheduler
 
 	// leafOrder/upperOrder give deterministic start order (top-down).
 	leafOrder  []topology.NodeID
@@ -79,6 +89,7 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 	h := &Hierarchy{
 		Leaves: map[topology.NodeID]*Leaf{},
 		Uppers: map[topology.NodeID]*Upper{},
+		Sched:  NewCohortScheduler(loop, cfg.ControlWorkers, cfg.Telemetry),
 	}
 
 	// Device kinds from the leaf level up to the MSB.
@@ -128,6 +139,7 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 			DryRun:        cfg.DryRun,
 			Alerts:        cfg.Alerts,
 			Telemetry:     cfg.Telemetry,
+			Scheduler:     h.Sched,
 		}
 		if cfg.Validators != nil {
 			lcfg.Validator = cfg.Validators(node.ID)
@@ -163,6 +175,7 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 				DryRun:    cfg.DryRun,
 				Alerts:    cfg.Alerts,
 				Telemetry: cfg.Telemetry,
+				Scheduler: h.Sched,
 			}
 			up := NewUpper(loop, ucfg, children)
 			h.Uppers[node.ID] = up

@@ -16,6 +16,14 @@ type Controller interface {
 	Stop()
 	Running() bool
 	Handler() rpc.Handler
+	// Cycles and Journal expose the decision history that failover hands
+	// from a failed primary to its promoted backup.
+	Cycles() uint64
+	Journal() *Journal
+	// AdoptJournal seeds the controller with a predecessor's decision
+	// records and cycle counter so it resumes numbering instead of
+	// restarting at zero. Must be called before Start.
+	AdoptJournal(recs []DecisionRecord, cycles uint64)
 }
 
 // Compile-time interface checks.
@@ -36,6 +44,13 @@ type FailoverConfig struct {
 	FailThreshold int
 	// PingTimeout bounds each health probe.
 	PingTimeout time.Duration
+	// Primary, when set, is the supervised controller instance. On
+	// promotion its decision journal and cycle counter are handed to the
+	// backup, so the promoted backup resumes the decision numbering
+	// instead of restarting at zero. (The failover can only probe the
+	// primary over RPC; the journal handoff uses this direct reference,
+	// standing in for the paper's shared controller state store.)
+	Primary Controller
 	// Alerts receives failover events.
 	Alerts AlertFunc
 }
@@ -120,9 +135,16 @@ func (f *Failover) check() {
 
 func (f *Failover) promote() {
 	f.promoted = true
+	handedOff := 0
+	if p := f.cfg.Primary; p != nil {
+		recs := p.Journal().Records()
+		f.backup.AdoptJournal(recs, p.Cycles())
+		handedOff = len(recs)
+	}
 	f.net.Register(f.addr, f.backup.Handler())
 	f.backup.Start()
 	f.cfg.Alerts.emit(f.loop.Now(), AlertCritical, f.backup.DeviceID(),
-		"primary controller unresponsive for %d probes; backup promoted", f.misses)
+		"primary controller unresponsive for %d probes; backup promoted (%d journal records handed off)",
+		f.misses, handedOff)
 	f.ticker.Stop()
 }

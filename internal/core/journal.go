@@ -72,6 +72,15 @@ func (j *Journal) Add(r DecisionRecord) {
 	j.full = true
 }
 
+// Absorb bulk-loads records (oldest-first) through the ring's normal
+// eviction, used to hand a failed primary's journal to its promoted
+// backup so the decision log survives the failover.
+func (j *Journal) Absorb(recs []DecisionRecord) {
+	for _, r := range recs {
+		j.Add(r)
+	}
+}
+
 // Len returns the number of retained records.
 func (j *Journal) Len() int { return len(j.recs) }
 

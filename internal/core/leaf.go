@@ -64,6 +64,10 @@ type LeafConfig struct {
 	// cycle performs no telemetry work, keeping the simulation path
 	// byte-identical and allocation-free.
 	Telemetry *telemetry.Sink
+	// Scheduler, when set, runs this controller's observe+decide phase on
+	// the shared cohort worker pool and its act phase serially in device
+	// order. nil runs all phases inline at cycle completion.
+	Scheduler *CohortScheduler
 }
 
 func (c *LeafConfig) fillDefaults() {
@@ -114,7 +118,11 @@ type agentState struct {
 	capSent   power.Watts
 	capped    bool
 
-	// cycle-local state
+	// cycle-local state. raw holds the undecoded pull response; decoding
+	// happens in the observe phase so the RPC completion callback does no
+	// per-agent work beyond storing bytes.
+	rawValid  bool
+	raw       []byte
 	ok        bool
 	estimated bool
 	reading   float64
@@ -148,10 +156,56 @@ type Leaf struct {
 	capEvents   uint64
 	uncapEvents uint64
 
+	// phased execution. cycleOpen is true from pollCycle until the act
+	// phase completes; reconfiguration requested in that window is
+	// deferred to the cycle boundary so it cannot race an observe phase
+	// running on a cohort worker.
+	sched             *CohortScheduler
+	schedOrder        int
+	cycleOpen         bool
+	plan              leafPlan
+	pendingBands      *BandConfig
+	pendingPoll       time.Duration
+	deferredReconfigs uint64
+
 	// telemetry (nil when disabled)
 	tel          *ctrlInstr
 	cycleStartAt time.Duration
 	lastAction   Action
+}
+
+// pendingAlert is an alert composed during observe+decide (which may run
+// off-loop) and emitted during the serial act phase.
+type pendingAlert struct {
+	level AlertLevel
+	msg   string
+}
+
+// leafPlan is the complete outcome of one observe+decide phase. The act
+// phase applies it verbatim: journal write, alert emission, telemetry,
+// and RPC actuation. Everything the act phase needs is captured here so
+// the two phases share no implicit state.
+type leafPlan struct {
+	rec          DecisionRecord
+	invalid      bool
+	failures     int
+	agg          power.Watts
+	effLimit     power.Watts
+	action       Action
+	prevAction   Action
+	capCount     int
+	planComputed bool
+	caps         []PlannedCap
+	planned      int
+	achieved     power.Watts
+	shortfall    power.Watts
+	sendCaps     bool
+	sendUncaps   bool
+	alerts       []pendingAlert
+}
+
+func (p *leafPlan) alert(level AlertLevel, format string, args ...interface{}) {
+	p.alerts = append(p.alerts, pendingAlert{level: level, msg: fmt.Sprintf(format, args...)})
 }
 
 // NewLeaf creates a leaf controller over the given agents.
@@ -168,6 +222,10 @@ func NewLeaf(loop simclock.Loop, cfg LeafConfig, agents []AgentRef) *Leaf {
 	}
 	l.tel = newCtrlInstr(cfg.Telemetry, cfg.DeviceID, "leaf")
 	l.cfg.Alerts = l.tel.wrapAlerts(l.cfg.Alerts)
+	l.sched = cfg.Scheduler
+	if l.sched != nil {
+		l.schedOrder = l.sched.register()
+	}
 	for _, a := range agents {
 		l.agents[a.ServerID] = &agentState{
 			id: a.ServerID, client: a.Client,
@@ -267,47 +325,85 @@ func contractBands(contract power.Watts, cfg BandConfig) Bands {
 }
 
 // SetPollInterval changes the pull cycle (ablation studies compare the
-// paper's 3 s cycle against slower sampling).
+// paper's 3 s cycle against slower sampling). If a cycle is currently
+// collecting or deciding, the change is deferred to the cycle boundary so
+// it cannot race an observe phase running on a cohort worker.
 func (l *Leaf) SetPollInterval(d time.Duration) {
 	if d <= 0 {
 		return
 	}
+	if l.cycleOpen {
+		l.pendingPoll = d
+		l.deferredReconfigs++
+		return
+	}
+	l.applyPollInterval(d)
+}
+
+func (l *Leaf) applyPollInterval(d time.Duration) {
 	l.cfg.PollInterval = d
 	l.cfg.PullTimeout = d * 2 / 3
 	l.ticker.SetPeriod(d)
 }
 
 // SetBands replaces the band configuration (used by experiments that
-// manually lower the capping threshold, as in Fig 15).
+// manually lower the capping threshold, as in Fig 15). Mid-cycle calls
+// are validated immediately but applied at the next cycle boundary.
 func (l *Leaf) SetBands(b BandConfig) error {
 	if err := b.Validate(); err != nil {
 		return err
+	}
+	if l.cycleOpen {
+		bc := b
+		l.pendingBands = &bc
+		l.deferredReconfigs++
+		return nil
 	}
 	l.cfg.Bands = b
 	return nil
 }
 
+// DeferredReconfigs returns how many SetBands/SetPollInterval calls were
+// deferred to a cycle boundary because a cycle was in flight.
+func (l *Leaf) DeferredReconfigs() uint64 { return l.deferredReconfigs }
+
+// applyPendingReconfigs applies deferred reconfiguration at the cycle
+// boundary (end of the act phase, on the loop goroutine).
+func (l *Leaf) applyPendingReconfigs() {
+	if l.pendingBands != nil {
+		l.cfg.Bands = *l.pendingBands
+		l.pendingBands = nil
+	}
+	if l.pendingPoll > 0 {
+		l.applyPollInterval(l.pendingPoll)
+		l.pendingPoll = 0
+	}
+}
+
 // pollCycle broadcasts power pulls to every agent (paper: "periodically
 // broadcasts power pull requests over Thrift to all servers").
 func (l *Leaf) pollCycle() {
-	if l.inflight > 0 {
-		// Previous cycle still collecting (should not happen: timeout <
-		// interval), skip to avoid overlapping aggregations.
+	if l.inflight > 0 || l.cycleOpen {
+		// Previous cycle still collecting or deciding (should not happen:
+		// timeout < interval), skip to avoid overlapping aggregations.
 		return
 	}
 	l.cycleSeq++
 	seq := l.cycleSeq
+	l.cycleOpen = true
 	if l.tel != nil {
 		l.cycleStartAt = l.loop.Now()
 		l.tel.cycleStart(l.cycles+1, l.cycleStartAt)
 	}
 	l.inflight = len(l.order)
 	if l.inflight == 0 {
-		l.finishCycle()
+		l.complete()
 		return
 	}
 	for _, id := range l.order {
 		st := l.agents[id]
+		st.rawValid = false
+		st.raw = nil
 		st.ok = false
 		st.estimated = false
 		st.reading = 0
@@ -316,6 +412,9 @@ func (l *Leaf) pollCycle() {
 	}
 }
 
+// onPull records one pull completion. It runs on the loop goroutine and
+// only stores the raw response; decoding is deferred to the observe
+// phase, which may run on a cohort worker.
 func (l *Leaf) onPull(seq uint64, st *agentState, resp []byte, err error) {
 	if seq != l.cycleSeq {
 		return // stale response from a superseded cycle
@@ -324,8 +423,47 @@ func (l *Leaf) onPull(seq uint64, st *agentState, resp []byte, err error) {
 		l.tel.rpcFailure(l.cycles+1, l.loop.Now(), st.id, "power pull", err)
 	}
 	if err == nil {
+		st.rawValid = true
+		st.raw = resp
+	}
+	l.inflight--
+	if l.inflight == 0 {
+		l.complete()
+	}
+}
+
+// complete hands the collected cycle to its phases: via the cohort
+// scheduler when one is attached, else inline at the completion instant.
+func (l *Leaf) complete() {
+	if l.sched != nil {
+		l.sched.submit(l, l.schedOrder)
+		return
+	}
+	now := l.loop.Now()
+	l.runObserveDecide(now)
+	l.runAct(now)
+}
+
+// runObserveDecide is the observe+decide phase: decode raw responses, run
+// failure estimation and aggregation, evaluate the three-band (or PID)
+// decision, and compute the full actuation plan into l.plan. It reads and
+// writes only this controller's own state, so the cohort scheduler may
+// run it on a worker goroutine concurrently with other controllers'
+// observe phases. No journal writes, alert emission, telemetry, or RPC
+// happens here — those are act-phase effects.
+func (l *Leaf) runObserveDecide(now time.Duration) {
+	l.cycles++
+	p := &l.plan
+	*p = leafPlan{prevAction: l.lastAction, caps: p.caps[:0], alerts: p.alerts[:0]}
+
+	// Decode this cycle's raw pull responses.
+	for _, id := range l.order {
+		st := l.agents[id]
+		if !st.rawValid {
+			continue
+		}
 		var r agent.ReadPowerResponse
-		if derr := wire.Unmarshal(resp, &r); derr == nil {
+		if derr := wire.Unmarshal(st.raw, &r); derr == nil {
 			st.ok = true
 			st.reading = r.TotalWatts
 			st.lastPower = r.TotalWatts
@@ -338,17 +476,6 @@ func (l *Leaf) onPull(seq uint64, st *agentState, resp []byte, err error) {
 			}
 		}
 	}
-	l.inflight--
-	if l.inflight == 0 {
-		l.finishCycle()
-	}
-}
-
-// finishCycle aggregates the cycle's readings and applies the three-band
-// decision logic.
-func (l *Leaf) finishCycle() {
-	now := l.loop.Now()
-	l.cycles++
 
 	// Failure estimation (paper §III-C1): failed pulls are estimated from
 	// same-service responders; servers never seen get their last known
@@ -385,6 +512,7 @@ func (l *Leaf) finishCycle() {
 		l.lastService[st.service] += power.Watts(st.reading)
 	}
 
+	p.failures = failures
 	failFrac := 0.0
 	if len(l.order) > 0 {
 		failFrac = float64(failures) / float64(len(l.order))
@@ -393,62 +521,115 @@ func (l *Leaf) finishCycle() {
 		// Too many failures: the aggregation is invalid; take no action
 		// and alert for human intervention (paper §III-C1, §III-E).
 		l.lastValid = false
-		if l.tel != nil {
-			l.tel.invalidCycle(l.cycles, l.cycleStartAt, now, failures, len(l.order))
-		}
-		l.cfg.Alerts.emit(now, AlertCritical, l.cfg.DeviceID,
+		p.invalid = true
+		p.alert(AlertCritical,
 			"power aggregation invalid: %d/%d pulls failed (%.0f%% > %.0f%%)",
 			failures, len(l.order), failFrac*100, l.cfg.MaxFailureFrac*100)
-		l.journal.Add(DecisionRecord{
+		p.rec = DecisionRecord{
 			Cycle: l.cycles, Time: now, Valid: false, Failures: failures,
-		})
+		}
 		return
 	}
 
 	agg := power.Watts(total)
 	l.lastAgg = agg
 	l.lastValid = true
-	l.history.Add(now, float64(agg))
-	l.cappedHistory.Add(now, float64(l.CappedCount()))
-	l.validate(now, agg)
+	p.agg = agg
+	p.capCount = l.CappedCount()
+	p.effLimit = l.EffectiveLimit()
+	l.validate(p, agg)
 
 	var action Action
 	var target power.Watts
 	if l.pid != nil {
-		action, target = l.pid.step(now, agg, l.EffectiveLimit(), l.CappedCount() > 0)
+		action, target = l.pid.step(now, agg, p.effLimit, p.capCount > 0)
 	} else {
 		bands := l.effectiveBands()
-		action = bands.Decide(agg, l.CappedCount() > 0)
+		action = bands.Decide(agg, p.capCount > 0)
 		target = bands.CapTarget
 	}
-	rec := DecisionRecord{
+	p.action = action
+	l.lastAction = action
+	p.rec = DecisionRecord{
 		Cycle: l.cycles, Time: now, Agg: agg, Valid: true,
-		Failures: failures, EffLimit: l.EffectiveLimit(),
+		Failures: failures, EffLimit: p.effLimit,
 		Action: action, DryRun: l.cfg.DryRun,
 	}
-	if l.tel != nil && action != l.lastAction {
-		l.tel.transition(l.cycles, now, l.lastAction, action)
-	}
-	l.lastAction = action
 	switch action {
 	case ActionCap:
-		rec.Target = target
-		rec.ServersPlanned, rec.Achieved, rec.Shortfall = l.doCap(now, agg, target)
+		p.rec.Target = target
+		l.planCap(p, agg, target)
+		p.rec.ServersPlanned, p.rec.Achieved, p.rec.Shortfall = p.planned, p.achieved, p.shortfall
 	case ActionUncap:
-		l.doUncap(now)
+		l.planUncap(p)
 	}
-	l.journal.Add(rec)
+}
+
+// runAct is the act phase: apply the plan computed by runObserveDecide.
+// It always runs on the loop goroutine — journal and history writes,
+// alert emission, telemetry, and RPC sends all happen here, serially and
+// in fixed device order across the cohort.
+func (l *Leaf) runAct(now time.Duration) {
+	p := &l.plan
+	defer func() {
+		l.cycleOpen = false
+		l.applyPendingReconfigs()
+	}()
+
+	if p.invalid {
+		if l.tel != nil {
+			l.tel.invalidCycle(l.cycles, l.cycleStartAt, now, p.failures, len(l.order))
+		}
+		l.emitAlerts(now, p)
+		l.journal.Add(p.rec)
+		return
+	}
+
+	l.history.Add(now, float64(p.agg))
+	l.cappedHistory.Add(now, float64(p.capCount))
+	if l.tel != nil && p.action != p.prevAction {
+		l.tel.transition(l.cycles, now, p.prevAction, p.action)
+	}
+	if l.tel != nil && p.planComputed {
+		l.tel.capPlan(l.cycles, now, p.planned, p.achieved, p.shortfall, l.cfg.DryRun)
+	}
+	l.emitAlerts(now, p)
+	if p.sendCaps {
+		l.capEvents++
+		l.sendCaps(p.caps)
+	}
+	if p.sendUncaps {
+		l.uncapEvents++
+		l.sendUncaps()
+	}
+	l.journal.Add(p.rec)
 	if l.tel != nil {
-		l.tel.cycleEnd(l.cycles, l.cycleStartAt, now, agg, l.EffectiveLimit(), l.CappedCount(), action)
+		l.tel.cycleEnd(l.cycles, l.cycleStartAt, now, p.agg, p.effLimit, p.capCount, p.action)
+	}
+}
+
+func (l *Leaf) emitAlerts(now time.Duration, p *leafPlan) {
+	for _, a := range p.alerts {
+		l.cfg.Alerts.emit(now, a.level, l.cfg.DeviceID, "%s", a.msg)
 	}
 }
 
 // Journal returns the controller's decision log (oldest-first ring).
 func (l *Leaf) Journal() *Journal { return l.journal }
 
+// AdoptJournal seeds this controller with a predecessor's decision
+// records and cycle counter (failover handoff). Call before Start.
+func (l *Leaf) AdoptJournal(recs []DecisionRecord, cycles uint64) {
+	l.journal.Absorb(recs)
+	if cycles > l.cycles {
+		l.cycles = cycles
+	}
+}
+
 // validate cross-checks the aggregation against the breaker's own coarse
-// reading when one is available.
-func (l *Leaf) validate(now time.Duration, agg power.Watts) {
+// reading when one is available. Observe-phase: the validator is a pure
+// read and the warning is deferred to the act phase.
+func (l *Leaf) validate(p *leafPlan, agg power.Watts) {
 	if l.cfg.Validator == nil {
 		return
 	}
@@ -461,16 +642,18 @@ func (l *Leaf) validate(now time.Duration, agg power.Watts) {
 		diff = -diff
 	}
 	if diff > l.cfg.ValidationTolerance {
-		l.cfg.Alerts.emit(now, AlertWarning, l.cfg.DeviceID,
+		p.alert(AlertWarning,
 			"aggregation %v disagrees with breaker reading %v by %.1f%%",
 			agg, reading, diff*100)
 	}
 }
 
-func (l *Leaf) doCap(now time.Duration, agg, target power.Watts) (planned int, achieved, shortfall power.Watts) {
+// planCap computes the capping plan (observe-phase: pure with respect to
+// shared state) and records the caps to send in the act phase.
+func (l *Leaf) planCap(p *leafPlan, agg, target power.Watts) {
 	totalCut := agg - target
 	if totalCut <= 0 {
-		return 0, 0, 0
+		return
 	}
 	snapshot := make([]ServerState, 0, len(l.order))
 	for _, id := range l.order {
@@ -483,20 +666,32 @@ func (l *Leaf) doCap(now time.Duration, agg, target power.Watts) (planned int, a
 		})
 	}
 	plan := ComputePlan(snapshot, totalCut, l.cfg.Priorities)
-	if l.tel != nil {
-		l.tel.capPlan(l.cycles, now, len(plan.Caps), plan.Achieved, plan.Shortfall, l.cfg.DryRun)
-	}
+	p.planned, p.achieved, p.shortfall = len(plan.Caps), plan.Achieved, plan.Shortfall
+	p.planComputed = true
 	if plan.Shortfall > 0 {
-		l.cfg.Alerts.emit(now, AlertCritical, l.cfg.DeviceID,
-			"capping plan short by %v (SLA floors reached)", plan.Shortfall)
+		p.alert(AlertCritical, "capping plan short by %v (SLA floors reached)", plan.Shortfall)
 	}
 	if l.cfg.DryRun {
-		l.cfg.Alerts.emit(now, AlertInfo, l.cfg.DeviceID,
-			"dry-run: would cap %d servers for %v total cut", len(plan.Caps), plan.Achieved)
-		return len(plan.Caps), plan.Achieved, plan.Shortfall
+		p.alert(AlertInfo, "dry-run: would cap %d servers for %v total cut",
+			len(plan.Caps), plan.Achieved)
+		return
 	}
-	l.capEvents++
-	for _, pc := range plan.Caps {
+	p.caps = append(p.caps, plan.Caps...)
+	p.sendCaps = true
+}
+
+// planUncap records the uncap decision for the act phase.
+func (l *Leaf) planUncap(p *leafPlan) {
+	if l.cfg.DryRun {
+		p.alert(AlertInfo, "dry-run: would uncap %d servers", p.capCount)
+		return
+	}
+	p.sendUncaps = true
+}
+
+// sendCaps issues the cap commands (act-phase: RPC sends on the loop).
+func (l *Leaf) sendCaps(caps []PlannedCap) {
+	for _, pc := range caps {
 		st := l.agents[pc.ID]
 		req := &agent.SetCapRequest{LimitWatts: float64(pc.Cap)}
 		capVal := pc.Cap
@@ -514,16 +709,10 @@ func (l *Leaf) doCap(now time.Duration, agg, target power.Watts) (planned int, a
 			st.capSent = capVal
 		})
 	}
-	return len(plan.Caps), plan.Achieved, plan.Shortfall
 }
 
-func (l *Leaf) doUncap(now time.Duration) {
-	if l.cfg.DryRun {
-		l.cfg.Alerts.emit(now, AlertInfo, l.cfg.DeviceID,
-			"dry-run: would uncap %d servers", l.CappedCount())
-		return
-	}
-	l.uncapEvents++
+// sendUncaps issues the uncap commands (act-phase).
+func (l *Leaf) sendUncaps() {
 	for _, id := range l.order {
 		st := l.agents[id]
 		if !st.capped {

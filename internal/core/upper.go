@@ -47,6 +47,9 @@ type UpperConfig struct {
 	// events. nil (the default) disables telemetry entirely, as in
 	// LeafConfig.
 	Telemetry *telemetry.Sink
+	// Scheduler, when set, runs the observe+decide phase on the shared
+	// cohort worker pool (see LeafConfig.Scheduler).
+	Scheduler *CohortScheduler
 }
 
 func (c *UpperConfig) fillDefaults() {
@@ -88,9 +91,12 @@ type childState struct {
 	contract   power.Watts
 	contracted bool
 
-	// cycle-local
-	ok      bool
-	reading power.Watts
+	// cycle-local. raw holds the undecoded pull response; decoding
+	// happens in the observe phase (see agentState.raw).
+	rawValid bool
+	raw      []byte
+	ok       bool
+	reading  power.Watts
 }
 
 // Upper is an upper-level power controller coordinating child controllers
@@ -124,10 +130,49 @@ type Upper struct {
 	capEvents   uint64
 	uncapEvents uint64
 
+	// phased execution (see the corresponding Leaf fields).
+	sched      *CohortScheduler
+	schedOrder int
+	cycleOpen  bool
+	plan       upperPlan
+
 	// telemetry (nil when disabled)
 	tel          *ctrlInstr
 	cycleStartAt time.Duration
 	lastAction   Action
+}
+
+// childCut is one contract to issue, in fixed child order. Emitting cuts
+// as an ordered slice (rather than ranging over the cuts map as the
+// pre-phase code did) makes the contract send order — and therefore the
+// RPC event sequence — deterministic.
+type childCut struct {
+	id       string
+	contract power.Watts
+}
+
+// upperPlan is the outcome of one upper observe+decide phase.
+type upperPlan struct {
+	rec             DecisionRecord
+	invalid         bool
+	stale           int
+	agg             power.Watts
+	effLimit        power.Watts
+	action          Action
+	prevAction      Action
+	contractedCount int
+	planComputed    bool
+	planned         int
+	achieved        power.Watts
+	shortfall       power.Watts
+	cuts            []childCut
+	sendCuts        bool
+	sendUncaps      bool
+	alerts          []pendingAlert
+}
+
+func (p *upperPlan) alert(level AlertLevel, format string, args ...interface{}) {
+	p.alerts = append(p.alerts, pendingAlert{level: level, msg: fmt.Sprintf(format, args...)})
 }
 
 // NewUpper creates an upper-level controller over child controllers.
@@ -142,6 +187,10 @@ func NewUpper(loop simclock.Loop, cfg UpperConfig, children []ChildRef) *Upper {
 	}
 	u.tel = newCtrlInstr(cfg.Telemetry, cfg.DeviceID, "upper")
 	u.cfg.Alerts = u.tel.wrapAlerts(u.cfg.Alerts)
+	u.sched = cfg.Scheduler
+	if u.sched != nil {
+		u.schedOrder = u.sched.register()
+	}
 	for _, c := range children {
 		u.children[c.ID] = &childState{id: c.ID, client: c.Client, quota: c.Quota}
 		u.order = append(u.order, c.ID)
@@ -180,6 +229,15 @@ func (u *Upper) UncapEvents() uint64 { return u.uncapEvents }
 // Journal returns the controller's decision log (oldest-first ring).
 func (u *Upper) Journal() *Journal { return u.journal }
 
+// AdoptJournal seeds this controller with a predecessor's decision
+// records and cycle counter (failover handoff). Call before Start.
+func (u *Upper) AdoptJournal(recs []DecisionRecord, cycles uint64) {
+	u.journal.Absorb(recs)
+	if cycles > u.cycles {
+		u.cycles = cycles
+	}
+}
+
 // ContractedChildren returns the IDs currently under a contractual limit.
 func (u *Upper) ContractedChildren() []string {
 	var out []string
@@ -209,22 +267,25 @@ func (u *Upper) effectiveBands() Bands {
 }
 
 func (u *Upper) pollCycle() {
-	if u.inflight > 0 {
+	if u.inflight > 0 || u.cycleOpen {
 		return
 	}
 	u.cycleSeq++
 	seq := u.cycleSeq
+	u.cycleOpen = true
 	if u.tel != nil {
 		u.cycleStartAt = u.loop.Now()
 		u.tel.cycleStart(u.cycles+1, u.cycleStartAt)
 	}
 	u.inflight = len(u.order)
 	if u.inflight == 0 {
-		u.finishCycle()
+		u.complete()
 		return
 	}
 	for _, id := range u.order {
 		st := u.children[id]
+		st.rawValid = false
+		st.raw = nil
 		st.ok = false
 		st.client.Call(MethodCtrlReadPower, rpc.Empty, u.cfg.PullTimeout,
 			func(resp []byte, err error) { u.onPull(seq, st, resp, err) })
@@ -239,8 +300,42 @@ func (u *Upper) onPull(seq uint64, st *childState, resp []byte, err error) {
 		u.tel.rpcFailure(u.cycles+1, u.loop.Now(), st.id, "child pull", err)
 	}
 	if err == nil {
+		st.rawValid = true
+		st.raw = resp
+	}
+	u.inflight--
+	if u.inflight == 0 {
+		u.complete()
+	}
+}
+
+// complete hands the collected cycle to its phases (see Leaf.complete).
+func (u *Upper) complete() {
+	if u.sched != nil {
+		u.sched.submit(u, u.schedOrder)
+		return
+	}
+	now := u.loop.Now()
+	u.runObserveDecide(now)
+	u.runAct(now)
+}
+
+// runObserveDecide is the upper controller's observe+decide phase: decode
+// child responses, run stale accounting and aggregation, evaluate the
+// bands, and compute the contract cuts into u.plan. Controller-local
+// state only; safe on a cohort worker.
+func (u *Upper) runObserveDecide(now time.Duration) {
+	u.cycles++
+	p := &u.plan
+	*p = upperPlan{prevAction: u.lastAction, cuts: p.cuts[:0], alerts: p.alerts[:0]}
+
+	for _, id := range u.order {
+		st := u.children[id]
+		if !st.rawValid {
+			continue
+		}
 		var r CtrlReadPowerResponse
-		if derr := wire.Unmarshal(resp, &r); derr == nil && r.Valid {
+		if derr := wire.Unmarshal(st.raw, &r); derr == nil && r.Valid {
 			st.ok = true
 			st.reading = power.Watts(r.AggWatts)
 			st.lastAgg = st.reading
@@ -250,15 +345,6 @@ func (u *Upper) onPull(seq uint64, st *childState, resp []byte, err error) {
 			}
 		}
 	}
-	u.inflight--
-	if u.inflight == 0 {
-		u.finishCycle()
-	}
-}
-
-func (u *Upper) finishCycle() {
-	now := u.loop.Now()
-	u.cycles++
 
 	stale := 0
 	staleSeen := false
@@ -279,31 +365,31 @@ func (u *Upper) finishCycle() {
 		}
 		total += st.reading
 	}
+	p.stale = stale
 	staleFrac := 0.0
 	if len(u.order) > 0 {
 		staleFrac = float64(stale) / float64(len(u.order))
 	}
 	if staleFrac > u.cfg.MaxStaleFrac {
 		u.lastValid = false
-		if u.tel != nil {
-			u.tel.invalidCycle(u.cycles, u.cycleStartAt, now, stale, len(u.order))
-		}
+		p.invalid = true
 		// During the first cycles after a (re)start, children may simply
 		// not have completed their own first aggregation yet; that is
 		// expected and not alert-worthy.
 		if u.cycles > 2 || staleSeen {
-			u.cfg.Alerts.emit(now, AlertCritical, u.cfg.DeviceID,
+			p.alert(AlertCritical,
 				"aggregation invalid: %d/%d children unreachable", stale, len(u.order))
 		}
-		u.journal.Add(DecisionRecord{
+		p.rec = DecisionRecord{
 			Cycle: u.cycles, Time: now, Valid: false, Failures: stale,
-		})
+		}
 		return
 	}
 
 	u.lastAgg = total
 	u.lastValid = true
-	u.history.Add(now, float64(total))
+	p.agg = total
+	p.effLimit = u.EffectiveLimit()
 
 	u.recentAgg = append(u.recentAgg, total)
 	if len(u.recentAgg) > 3 {
@@ -318,14 +404,12 @@ func (u *Upper) finishCycle() {
 	bands := u.effectiveBands()
 	anyContracted := len(u.ContractedChildren()) > 0
 	action := bands.Decide(total, anyContracted)
-	rec := DecisionRecord{
-		Cycle: u.cycles, Time: now, Agg: total, Valid: true,
-		EffLimit: u.EffectiveLimit(), Action: action, DryRun: u.cfg.DryRun,
-	}
-	if u.tel != nil && action != u.lastAction {
-		u.tel.transition(u.cycles, now, u.lastAction, action)
-	}
+	p.action = action
 	u.lastAction = action
+	p.rec = DecisionRecord{
+		Cycle: u.cycles, Time: now, Agg: total, Valid: true,
+		EffLimit: p.effLimit, Action: action, DryRun: u.cfg.DryRun,
+	}
 	switch action {
 	case ActionCap:
 		// Conservative single-step actuation (paper §III-C2, ref [22]):
@@ -338,46 +422,94 @@ func (u *Upper) finishCycle() {
 			if smoothed < basis {
 				basis = smoothed
 			}
-			rec.Target = bands.CapTarget
-			rec.ServersPlanned, rec.Achieved, rec.Shortfall = u.doCap(now, basis, bands.CapTarget)
+			p.rec.Target = bands.CapTarget
+			u.planCap(p, basis, bands.CapTarget)
+			p.rec.ServersPlanned, p.rec.Achieved, p.rec.Shortfall = p.planned, p.achieved, p.shortfall
 		}
 	case ActionUncap:
-		u.doUncap(now)
+		if !u.cfg.DryRun {
+			p.sendUncaps = true
+		}
 	}
-	u.journal.Add(rec)
+	p.contractedCount = len(u.ContractedChildren())
+}
+
+// runAct applies the plan: journal and history writes, telemetry, alert
+// emission, and contract RPCs, serially on the loop goroutine.
+func (u *Upper) runAct(now time.Duration) {
+	p := &u.plan
+	defer func() { u.cycleOpen = false }()
+
+	if p.invalid {
+		if u.tel != nil {
+			u.tel.invalidCycle(u.cycles, u.cycleStartAt, now, p.stale, len(u.order))
+		}
+		u.emitAlerts(now, p)
+		u.journal.Add(p.rec)
+		return
+	}
+
+	u.history.Add(now, float64(p.agg))
+	if u.tel != nil && p.action != p.prevAction {
+		u.tel.transition(u.cycles, now, p.prevAction, p.action)
+	}
+	if u.tel != nil && p.planComputed {
+		u.tel.capPlan(u.cycles, now, p.planned, p.achieved, p.shortfall, u.cfg.DryRun)
+	}
+	u.emitAlerts(now, p)
+	if p.sendCuts {
+		u.capEvents++
+		u.sendContracts(now, p.cuts)
+	}
+	if p.sendUncaps {
+		u.uncapEvents++
+		u.sendClearContracts()
+	}
+	u.journal.Add(p.rec)
 	if u.tel != nil {
-		u.tel.cycleEnd(u.cycles, u.cycleStartAt, now, total, u.EffectiveLimit(),
-			len(u.ContractedChildren()), action)
+		u.tel.cycleEnd(u.cycles, u.cycleStartAt, now, p.agg, p.effLimit,
+			p.contractedCount, p.action)
 	}
 }
 
-// doCap runs punish-offender-first (paper §III-D): the needed cut is
+func (u *Upper) emitAlerts(now time.Duration, p *upperPlan) {
+	for _, a := range p.alerts {
+		u.cfg.Alerts.emit(now, a.level, u.cfg.DeviceID, "%s", a.msg)
+	}
+}
+
+// planCap runs punish-offender-first (paper §III-D): the needed cut is
 // distributed among children whose usage exceeds their power quota,
 // high-bucket-first on the overage; only if the offenders cannot absorb it
-// does the residual spread to the remaining children.
-func (u *Upper) doCap(now time.Duration, agg, target power.Watts) (planned int, achieved, shortfall power.Watts) {
+// does the residual spread to the remaining children. Observe-phase: it
+// computes the contracts (updating this controller's own child book-
+// keeping) and defers the sends to the act phase.
+func (u *Upper) planCap(p *upperPlan, agg, target power.Watts) {
 	needed := agg - target
 	if needed <= 0 {
-		return 0, 0, 0
+		return
 	}
 	cuts := u.planChildCuts(needed)
 	u.holdoffUntil = u.cycles + 2
+	var achieved power.Watts
 	for _, c := range cuts {
 		achieved += c
 	}
-	if shortfall = needed - achieved; shortfall < 0 {
+	shortfall := needed - achieved
+	if shortfall < 0 {
 		shortfall = 0
 	}
-	if u.tel != nil {
-		u.tel.capPlan(u.cycles, now, len(cuts), achieved, shortfall, u.cfg.DryRun)
-	}
+	p.planned, p.achieved, p.shortfall = len(cuts), achieved, shortfall
+	p.planComputed = true
 	if u.cfg.DryRun {
-		u.cfg.Alerts.emit(now, AlertInfo, u.cfg.DeviceID,
-			"dry-run: would contract %d children", len(cuts))
-		return len(cuts), achieved, shortfall
+		p.alert(AlertInfo, "dry-run: would contract %d children", len(cuts))
+		return
 	}
-	u.capEvents++
-	for id, cut := range cuts {
+	for _, id := range u.order {
+		cut, hit := cuts[id]
+		if !hit {
+			continue
+		}
 		st := u.children[id]
 		contract := st.reading - cut
 		if st.contracted && st.contract < contract {
@@ -385,10 +517,20 @@ func (u *Upper) doCap(now time.Duration, agg, target power.Watts) (planned int, 
 		}
 		st.contract = contract
 		st.contracted = true
+		p.cuts = append(p.cuts, childCut{id: id, contract: contract})
+	}
+	p.sendCuts = true
+}
+
+// sendContracts issues the planned contracts, in fixed child order
+// (act-phase).
+func (u *Upper) sendContracts(now time.Duration, cuts []childCut) {
+	for _, c := range cuts {
+		st := u.children[c.id]
 		if u.tel != nil {
-			u.tel.contractIssued(u.cycles, now, st.id, contract)
+			u.tel.contractIssued(u.cycles, now, st.id, c.contract)
 		}
-		req := &SetContractRequest{LimitWatts: float64(contract)}
+		req := &SetContractRequest{LimitWatts: float64(c.contract)}
 		st.client.Call(MethodCtrlSetContract, req, u.cfg.PullTimeout, func(resp []byte, err error) {
 			var ack AckResponse
 			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
@@ -400,7 +542,6 @@ func (u *Upper) doCap(now time.Duration, agg, target power.Watts) (planned int, 
 			}
 		})
 	}
-	return len(cuts), achieved, shortfall
 }
 
 // planChildCuts distributes the needed cut: offenders first (down to their
@@ -457,11 +598,8 @@ func (u *Upper) planChildCuts(needed power.Watts) map[string]power.Watts {
 	return cuts
 }
 
-func (u *Upper) doUncap(now time.Duration) {
-	if u.cfg.DryRun {
-		return
-	}
-	u.uncapEvents++
+// sendClearContracts releases all child contracts (act-phase).
+func (u *Upper) sendClearContracts() {
 	for _, id := range u.order {
 		st := u.children[id]
 		if !st.contracted {

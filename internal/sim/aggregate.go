@@ -78,6 +78,64 @@ func (s *Sim) buildAggIndex() {
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
+
+	s.breakerList = make([]*power.Breaker, len(s.deviceOrder))
+	s.devSnapIdx = make([]int, len(s.deviceOrder))
+	s.breakerWas = make([]bool, len(s.deviceOrder))
+	s.breakerFired = make([]bool, len(s.deviceOrder))
+	s.breakerDraw = make([]power.Watts, len(s.deviceOrder))
+	for i, id := range s.deviceOrder {
+		s.breakerList[i] = s.Breakers[id]
+		s.devSnapIdx[i] = s.aggIdx[id]
+	}
+}
+
+// parallelBreakerMin is the device count below which sharding the breaker
+// heat integration is not worth the goroutine handoff.
+const parallelBreakerMin = 64
+
+// observeBreakers integrates every breaker's thermal state against the
+// current snapshot, sharded across the worker pool. Each breaker's heat
+// state is independent, and the trip results land in fixed per-device
+// slots, so the subsequent serial trip handling (and therefore the whole
+// run) is byte-identical at any worker count. Only the heat integration
+// is sharded; trips' side effects (outages, telemetry) stay on the loop
+// goroutine.
+func (s *Sim) observeBreakers(now time.Duration) {
+	n := len(s.breakerList)
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < parallelBreakerMin {
+		for i, br := range s.breakerList {
+			s.breakerWas[i] = br.Tripped()
+			draw := s.snap.dev[s.devSnapIdx[i]]
+			s.breakerDraw[i] = draw
+			s.breakerFired[i] = br.Observe(draw, now)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				br := s.breakerList[i]
+				s.breakerWas[i] = br.Tripped()
+				draw := s.snap.dev[s.devSnapIdx[i]]
+				s.breakerDraw[i] = draw
+				s.breakerFired[i] = br.Observe(draw, now)
+			}
+		}(start, end)
+	}
+	wg.Wait()
 }
 
 // aggregate recomputes the snapshot at time now: one bottom-up pass over

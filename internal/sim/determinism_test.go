@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"dynamo/internal/core"
 	"dynamo/internal/power"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
@@ -39,7 +40,7 @@ type fingerprint struct {
 // runDetScenario drives a fixed scenario: validators on, device recording
 // on, a saturating surge that trips breakers, and a restore that starts
 // DCUPS recharges.
-func runDetScenario(t *testing.T, workers int, tel *telemetry.Sink) fingerprint {
+func runDetScenario(t *testing.T, workers, ctrlWorkers int, tel *telemetry.Sink) fingerprint {
 	t.Helper()
 	spec := detSpec()
 	s, err := New(Config{
@@ -48,6 +49,7 @@ func runDetScenario(t *testing.T, workers int, tel *telemetry.Sink) fingerprint 
 		EnableDynamo:      true,
 		ValidatorInterval: 30 * time.Second,
 		TickWorkers:       workers,
+		ControlWorkers:    ctrlWorkers,
 		Telemetry:         tel,
 	})
 	if err != nil {
@@ -73,10 +75,11 @@ func runDetScenario(t *testing.T, workers int, tel *telemetry.Sink) fingerprint 
 }
 
 // TestSimDeterminismGolden asserts the core contract of the aggregation
-// layer: same seed, same spec → byte-identical trips, alerts, and
-// recorded series, regardless of worker count, GOMAXPROCS, or telemetry.
+// and control layers: same seed, same spec → byte-identical trips, alerts,
+// and recorded series, regardless of physics-tick worker count, control
+// cohort worker count, GOMAXPROCS, or telemetry.
 func TestSimDeterminismGolden(t *testing.T) {
-	base := runDetScenario(t, 1, nil)
+	base := runDetScenario(t, 1, 1, nil)
 	if len(base.Trips) == 0 {
 		t.Fatal("scenario produced no trips; determinism check is vacuous")
 	}
@@ -88,18 +91,100 @@ func TestSimDeterminismGolden(t *testing.T) {
 		}
 	}
 
-	check("rerun-serial", runDetScenario(t, 1, nil))
-	check("workers-8", runDetScenario(t, 8, nil))
-	check("workers-3", runDetScenario(t, 3, nil))
-	check("telemetry-on", runDetScenario(t, 8, telemetry.NewSink()))
+	check("rerun-serial", runDetScenario(t, 1, 1, nil))
+	// Sweep ControlWorkers at several tick worker counts: the acceptance
+	// contract is byte-identical output across ControlWorkers ∈ {1, 4, 16}.
+	check("tick-8/ctrl-4", runDetScenario(t, 8, 4, nil))
+	check("tick-3/ctrl-16", runDetScenario(t, 3, 16, nil))
+	check("tick-8/ctrl-1", runDetScenario(t, 8, 1, nil))
+	// Telemetry must not perturb outcomes at any parallelism.
+	check("telemetry/ctrl-4", runDetScenario(t, 8, 4, telemetry.NewSink()))
+	check("telemetry/ctrl-16", runDetScenario(t, 4, 16, telemetry.NewSink()))
 
+	// Worker counts of 0 defer to GOMAXPROCS; sweeping it proves the
+	// deployment's core count never leaks into results.
 	old := runtime.GOMAXPROCS(1)
-	got1 := runDetScenario(t, 0, nil) // 0 → GOMAXPROCS = 1 worker
+	got1 := runDetScenario(t, 0, 0, nil) // 0 → GOMAXPROCS = 1 worker
 	runtime.GOMAXPROCS(8)
-	got8 := runDetScenario(t, 0, nil) // 0 → GOMAXPROCS = 8 workers
+	got8 := runDetScenario(t, 0, 0, nil) // 0 → GOMAXPROCS = 8 workers
+	gotTel := runDetScenario(t, 0, 0, telemetry.NewSink())
 	runtime.GOMAXPROCS(old)
 	check("gomaxprocs-1", got1)
 	check("gomaxprocs-8", got8)
+	check("gomaxprocs-8/telemetry", gotTel)
+}
+
+// hierarchyJournals snapshots every controller's decision journal, keyed
+// by device.
+func hierarchyJournals(s *Sim) map[string][]core.DecisionRecord {
+	out := map[string][]core.DecisionRecord{}
+	for id, l := range s.Hierarchy.Leaves {
+		out[string(id)] = l.Journal().Records()
+	}
+	for id, u := range s.Hierarchy.Uppers {
+		out[string(id)] = u.Journal().Records()
+	}
+	return out
+}
+
+// TestPhasedMatchesInlineJournals cross-checks the phased control plane
+// against inline execution on randomized topologies: forcing the cohort
+// scheduler inline (observe+decide+act run synchronously at the completion
+// instant, the pre-phase behavior) must leave every controller's decision
+// journal — and the physical outcome — record-identical.
+func TestPhasedMatchesInlineJournals(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 3; trial++ {
+		spec := detSpec()
+		spec.RacksPerRPP = 1 + rng.Intn(3)
+		spec.ServersPerRack = 8 + rng.Intn(25)
+		// Scale ratings to the drawn topology so the surge reliably forces
+		// a capping episode: ~265 W per server sits between idle and the
+		// surged draw (~295 W) regardless of fleet size. Racks stay
+		// generous so leaf capping, not breaker trips, dominates.
+		spec.RackRating = power.Watts(float64(spec.ServersPerRack) * 400)
+		spec.RPPRating = power.Watts(float64(spec.ServersPerRack*spec.RacksPerRPP) * 265)
+		seed := rng.Int63n(1000) + 1
+		surge := 0.8 + 0.15*rng.Float64()
+		run := func(inline bool) (map[string][]core.DecisionRecord, fingerprint) {
+			s, err := New(Config{
+				Spec:           spec,
+				Seed:           seed,
+				EnableDynamo:   true,
+				TickWorkers:    4,
+				ControlWorkers: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Hierarchy.Sched.SetInline(inline)
+			rpp := s.Topo.OfKind(topology.KindRPP)[0]
+			s.At(time.Minute, func() { s.SetExtraLoadUnder(rpp.ID, surge) })
+			s.At(5*time.Minute, func() { s.SetExtraLoadUnder(rpp.ID, 0) })
+			s.Run(7 * time.Minute)
+			fp := fingerprint{Trips: s.Trips, Alerts: len(s.Alerts), Total: float64(s.TotalPower())}
+			return hierarchyJournals(s), fp
+		}
+		phasedJ, phasedFP := run(false)
+		inlineJ, inlineFP := run(true)
+		capped := false
+		for _, recs := range phasedJ {
+			for _, r := range recs {
+				if r.Action == core.ActionCap {
+					capped = true
+				}
+			}
+		}
+		if !capped {
+			t.Fatalf("trial %d produced no capping; cross-check is vacuous", trial)
+		}
+		if !reflect.DeepEqual(phasedJ, inlineJ) {
+			t.Errorf("trial %d: journals diverge between phased and inline execution", trial)
+		}
+		if !reflect.DeepEqual(phasedFP, inlineFP) {
+			t.Errorf("trial %d: outcomes diverge: phased %+v inline %+v", trial, phasedFP, inlineFP)
+		}
+	}
 }
 
 // TestSnapshotMatchesOracleOnRandomTopology cross-checks the bottom-up

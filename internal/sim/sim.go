@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"dynamo/internal/agent"
@@ -86,6 +87,12 @@ type Config struct {
 	// are byte-identical at any setting — servers are independent once
 	// the per-service shared workload state is pre-advanced each tick.
 	TickWorkers int
+	// ControlWorkers bounds the worker pool for the controller cohort
+	// scheduler's observe+decide phases (all controllers due at the same
+	// virtual instant). 0 uses GOMAXPROCS; 1 batches cohorts but runs
+	// their phases on the loop goroutine. Results are byte-identical at
+	// any setting, exactly as with TickWorkers.
+	ControlWorkers int
 }
 
 // recharge is one rack's decaying DCUPS recharge draw.
@@ -134,6 +141,15 @@ type Sim struct {
 	tickList      []*server.Server
 	constSwitches int
 	workers       int
+	// Breaker step scratch (see observeBreakers): breakers in deviceOrder,
+	// each device's snapshot index, and per-tick was-tripped/fired/draw
+	// results filled by the sharded heat integration and consumed by the
+	// serial trip handler.
+	breakerList  []*power.Breaker
+	devSnapIdx   []int
+	breakerWas   []bool
+	breakerFired []bool
+	breakerDraw  []power.Watts
 	// useOracle routes breaker observations through the O(N·depth)
 	// subtree-walk oracle instead of the snapshot; test-only knob proving
 	// the refactor preserved behaviour.
@@ -336,6 +352,12 @@ func New(cfg Config) (*Sim, error) {
 		if hcfg.Telemetry == nil {
 			hcfg.Telemetry = cfg.Telemetry
 		}
+		if hcfg.ControlWorkers == 0 {
+			hcfg.ControlWorkers = cfg.ControlWorkers
+			if hcfg.ControlWorkers <= 0 {
+				hcfg.ControlWorkers = runtime.GOMAXPROCS(0)
+			}
+		}
 		if cfg.CappableSwitches {
 			hcfg.IncludeSwitches = true
 		}
@@ -415,8 +437,11 @@ func (s *Sim) Mark(format string, args ...interface{}) {
 //  3. one bottom-up aggregation pass computes every device's draw into
 //     the per-tick snapshot (fixed order, so results don't depend on the
 //     worker count);
-//  4. breakers, validators, recorders, and telemetry all read that
-//     snapshot — no per-device subtree walks anywhere on the hot path.
+//  4. breaker heat integration runs sharded over the same worker pool
+//     (each breaker integrates its own thermal state from the snapshot),
+//     with trips handled serially in device order; validators, recorders,
+//     and telemetry read the snapshot — no per-device subtree walks and
+//     no O(N) loop-goroutine work anywhere on the hot path.
 func (s *Sim) tick() {
 	now := s.Loop.Now()
 	for _, svc := range s.sharedOrder {
@@ -424,6 +449,34 @@ func (s *Sim) tick() {
 	}
 	s.tickServers(now)
 	s.aggregate(now)
+	if s.useOracle {
+		// Test oracle: pre-refactor serial path reading subtree walks.
+		for i, devID := range s.deviceOrder {
+			draw := s.devicePowerWalk(devID)
+			br := s.breakerList[i]
+			s.breakerWas[i] = br.Tripped()
+			s.breakerFired[i] = br.Observe(draw, now)
+			s.breakerDraw[i] = draw
+		}
+	} else {
+		s.observeBreakers(now)
+	}
+	for i, devID := range s.deviceOrder {
+		if !s.breakerFired[i] {
+			continue
+		}
+		draw := s.breakerDraw[i]
+		s.Trips = append(s.Trips, TripEvent{
+			Device: devID, Class: s.breakerList[i].Class(), At: now, Draw: draw,
+		})
+		if s.tel != nil {
+			s.tripCount.Inc()
+			s.Mark("breaker %s tripped at %v draw", devID, draw)
+		}
+		if !s.Cfg.DisableTripOutage && !s.breakerWas[i] {
+			s.outage(devID)
+		}
+	}
 	// read resolves a device draw: snapshot lookup normally, or the
 	// pre-refactor subtree walk when the test oracle is enabled.
 	read := func(devID topology.NodeID) power.Watts {
@@ -431,23 +484,6 @@ func (s *Sim) tick() {
 			return s.devicePowerWalk(devID)
 		}
 		return s.snap.dev[s.aggIdx[devID]]
-	}
-	for _, devID := range s.deviceOrder {
-		draw := read(devID)
-		br := s.Breakers[devID]
-		wasTripped := br.Tripped()
-		if br.Observe(draw, now) {
-			s.Trips = append(s.Trips, TripEvent{
-				Device: devID, Class: br.Class(), At: now, Draw: draw,
-			})
-			if s.tel != nil {
-				s.tripCount.Inc()
-				s.Mark("breaker %s tripped at %v draw", devID, draw)
-			}
-			if !s.Cfg.DisableTripOutage && !wasTripped {
-				s.outage(devID)
-			}
-		}
 	}
 	if s.Cfg.ValidatorInterval > 0 {
 		if s.lastMeter == 0 || now-s.lastMeter >= s.Cfg.ValidatorInterval {

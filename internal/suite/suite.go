@@ -90,6 +90,10 @@ type Assembly struct {
 	// traffic (paper: shared-memory communication between consolidated
 	// instances).
 	Intra *rpc.Network
+	// Sched is the 1-worker cohort scheduler shared by the suite's
+	// controllers: the wall-clock path keeps inline-equivalent phase
+	// execution while gaining the per-phase telemetry histograms.
+	Sched *core.CohortScheduler
 
 	order []string
 }
@@ -106,6 +110,7 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 		Leaves: map[string]*core.Leaf{},
 		Uppers: map[string]*core.Upper{},
 		Intra:  rpc.NewNetwork(loop, 0, 1),
+		Sched:  core.NewCohortScheduler(loop, 1, tel),
 	}
 
 	// Dial every remote endpoint — leaf agents and uppers' out-of-suite
@@ -171,6 +176,7 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 			UsePID:       c.UsePID,
 			Alerts:       alerts,
 			Telemetry:    tel,
+			Scheduler:    a.Sched,
 		}
 		if c.Bands != nil {
 			lc.Bands = bandConfig(c.Bands)
@@ -210,6 +216,7 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 			DryRun:       c.DryRun,
 			Alerts:       alerts,
 			Telemetry:    tel,
+			Scheduler:    a.Sched,
 		}
 		if c.Bands != nil {
 			uc.Bands = bandConfig(c.Bands)

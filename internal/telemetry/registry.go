@@ -82,6 +82,46 @@ func (g *Gauge) Value() float64 {
 // multi-second stuck pull cycles.
 var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor: start, start*factor, start*factor².
+// It panics on invalid parameters so misconfiguration fails at
+// registration, not at scrape time.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("telemetry: invalid ExpBuckets(%g, %g, %d)", start, factor, n))
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LadderBuckets returns the 1-2.5-5 decade ladder covering [lo, hi]:
+// e.g. LadderBuckets(1e-5, 0.25) yields 1e-5, 2.5e-5, 5e-5, ... 0.25.
+// Latency histograms want this shape — roughly even resolution per
+// decade across several orders of magnitude.
+func LadderBuckets(lo, hi float64) []float64 {
+	if lo <= 0 || hi < lo {
+		panic(fmt.Sprintf("telemetry: invalid LadderBuckets(%g, %g)", lo, hi))
+	}
+	steps := []float64{1, 2.5, 5}
+	decade := math.Pow(10, math.Floor(math.Log10(lo)))
+	var b []float64
+	for decade <= hi {
+		for _, s := range steps {
+			v := s * decade
+			if v >= lo && v <= hi*(1+1e-12) {
+				b = append(b, v)
+			}
+		}
+		decade *= 10
+	}
+	return b
+}
+
 // Histogram is a fixed-bucket cumulative histogram. Observations are
 // atomic per-bucket adds plus an atomic sum — no locks, no allocations.
 type Histogram struct {
@@ -169,12 +209,40 @@ type series struct {
 	h      *Histogram
 }
 
-// family groups all series sharing a metric name.
+// family groups all series sharing a metric name. Histogram families
+// remember the bucket bounds fixed at first registration: every series of
+// a family must share one bucket layout or the rendered
+// <name>_bucket{le=...} output would be incoherent across label sets.
 type family struct {
-	name   string
-	kind   metricKind
-	series map[string]*series
-	order  []string // registration order of label sets
+	name    string
+	kind    metricKind
+	buckets []float64 // normalized bounds (histograms only)
+	series  map[string]*series
+	order   []string // registration order of label sets
+}
+
+// normalizeBuckets sorts and copies bounds, substituting DefBuckets for an
+// empty list, so equality checks compare canonical layouts.
+func normalizeBuckets(bounds []float64) []float64 {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return b
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Registry holds named metrics. Registration (the Counter/Gauge/Histogram
@@ -224,16 +292,23 @@ func formatLabels(labels []string) string {
 // half-registered series.
 func (r *Registry) getSeries(name string, kind metricKind, buckets []float64, labels []string) *series {
 	ls := formatLabels(labels)
+	var nb []float64
+	if kind == kindHistogram {
+		nb = normalizeBuckets(buckets)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
-		f = &family{name: name, kind: kind, series: map[string]*series{}}
+		f = &family{name: name, kind: kind, buckets: nb, series: map[string]*series{}}
 		r.families[name] = f
 		r.order = append(r.order, name)
 	}
 	if f.kind != kind {
 		panic(fmt.Sprintf("telemetry: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	if kind == kindHistogram && !sameBuckets(f.buckets, nb) {
+		panic(fmt.Sprintf("telemetry: histogram %q registered with buckets %v, requested with %v", name, f.buckets, nb))
 	}
 	s, ok := f.series[ls]
 	if !ok {
@@ -244,7 +319,7 @@ func (r *Registry) getSeries(name string, kind metricKind, buckets []float64, la
 		case kindGauge:
 			s.g = &Gauge{}
 		case kindHistogram:
-			s.h = newHistogram(buckets)
+			s.h = newHistogram(f.buckets)
 		}
 		f.series[ls] = s
 		f.order = append(f.order, ls)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -367,5 +368,101 @@ func TestRingStormSampling(t *testing.T) {
 		if evs[i].Seq <= evs[i-1].Seq {
 			t.Fatalf("events out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
 		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets(1,2,5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets(1,2,5)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid ExpBuckets parameters")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestLadderBuckets(t *testing.T) {
+	got := LadderBuckets(1e-3, 0.25)
+	want := []float64{1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25}
+	if len(got) != len(want) {
+		t.Fatalf("LadderBuckets(1e-3, 0.25) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > want[i]*1e-9 {
+			t.Fatalf("LadderBuckets[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Bounds must be strictly increasing — a histogram with duplicate
+	// bounds would render incoherent cumulative buckets.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("non-increasing bounds at %d: %v", i, got)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on invalid LadderBuckets parameters")
+			}
+		}()
+		LadderBuckets(0.5, 0.1)
+	}()
+}
+
+func TestHistogramBucketConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("phase_seconds", []float64{0.01, 0.1, 1}, "phase", "observe")
+	// Same layout (even reordered) is accepted and returns per-label series.
+	h2 := r.Histogram("phase_seconds", []float64{1, 0.1, 0.01}, "phase", "act")
+	if h == h2 {
+		t.Fatal("different label sets must be distinct histograms")
+	}
+	if again := r.Histogram("phase_seconds", []float64{0.01, 0.1, 1}, "phase", "observe"); again != h {
+		t.Fatal("same name+labels+buckets must return the same histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on conflicting bucket layouts in one family")
+		}
+	}()
+	r.Histogram("phase_seconds", []float64{0.5, 5}, "phase", "late")
+}
+
+func TestHistogramNilBucketsUseDefaults(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur_seconds", nil)
+	h.Observe(0.3)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// DefBuckets layout renders, including its 0.25 bound.
+	if !strings.Contains(out, `dur_seconds_bucket{le="0.25"} 0`) {
+		t.Errorf("default bucket le=0.25 missing:\n%s", out)
+	}
+	if !strings.Contains(out, `dur_seconds_bucket{le="0.5"} 1`) {
+		t.Errorf("observation not in le=0.5 bucket:\n%s", out)
+	}
+	// Explicitly requesting DefBuckets again is not a conflict.
+	if again := r.Histogram("dur_seconds", DefBuckets); again != h {
+		t.Fatal("nil and DefBuckets must resolve to the same family layout")
 	}
 }
