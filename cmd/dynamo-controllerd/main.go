@@ -13,6 +13,19 @@
 // With -metrics-addr set, the daemon exposes Prometheus metrics at
 // /metrics, a JSON controller snapshot at /debug/state, and a liveness
 // probe at /healthz.
+//
+// The daemon can participate in replicated-state-store failover. A
+// primary checkpoints every decision cycle into its local store and ships
+// the stream to peers:
+//
+//	dynamo-controllerd -device rpp1 ... -store-peers 127.0.0.1:7095
+//
+// A backup serves its store replica on -store-listen, probes the primary,
+// and on sustained probe failure adopts the replicated journal (resuming
+// the primary's cycle numbering) and takes over control:
+//
+//	dynamo-controllerd -device rpp1 ... -backup -primary 127.0.0.1:7090 \
+//	    -store-listen :7095
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 )
 
@@ -39,7 +53,21 @@ func main() {
 	agents := flag.String("agents", "", "comma-separated id=service@host:port agent list")
 	dryRun := flag.Bool("dry-run", false, "compute capping plans without actuating")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP exposition address for /metrics, /debug/state, /healthz (empty: disabled)")
+	poll := flag.Duration("poll", 0, "decision-cycle poll interval (0: paper default 3s)")
+	storeListen := flag.String("store-listen", "", "TCP address serving this daemon's state store to peers (empty: not served)")
+	storePeers := flag.String("store-peers", "", "comma-separated host:port list of peer state stores to replicate checkpoints to")
+	storeInterval := flag.Duration("store-interval", time.Second, "checkpoint replication cadence")
+	backup := flag.Bool("backup", false, "run as standby backup: probe -primary and take over on sustained failure")
+	primaryAddr := flag.String("primary", "", "primary controller address to probe (required with -backup)")
+	failInterval := flag.Duration("failover-interval", 3*time.Second, "mean interval between backup health probes")
+	failMisses := flag.Int("failover-misses", 3, "consecutive probe failures before the backup promotes")
+	failJitter := flag.Float64("failover-jitter", 0.1, "probe interval jitter fraction (0..0.5)")
 	flag.Parse()
+
+	if *backup && *primaryAddr == "" {
+		fmt.Fprintln(os.Stderr, "-backup requires -primary")
+		os.Exit(2)
+	}
 
 	logger := telemetry.NewLogger(os.Stdout, "dynamo-controllerd")
 
@@ -61,20 +89,33 @@ func main() {
 		}
 	}()
 
+	// The local state store holds this controller's checkpoint stream. A
+	// primary writes into it and ships to peers; a backup's copy is the
+	// replica it adopts from on promotion.
+	role := "primary"
+	if *backup {
+		role = "backup"
+	}
+	store := statestore.NewStore(loop, *device+"/"+role, sink)
+
 	// A 1-worker cohort keeps the wall-clock daemon's inline execution
 	// semantics while routing the cycle through the same phase machinery
 	// (and phase histograms) as the simulated hierarchy.
 	sched := core.NewCohortScheduler(loop, 1, sink)
 	leaf := core.NewLeaf(loop, core.LeafConfig{
-		DeviceID:  *device,
-		Limit:     power.Watts(*limit),
-		Quota:     power.Watts(*quota),
-		DryRun:    *dryRun,
-		Telemetry: sink,
-		Alerts:    alertLogger(logger),
-		Scheduler: sched,
+		DeviceID:     *device,
+		Limit:        power.Watts(*limit),
+		Quota:        power.Watts(*quota),
+		PollInterval: *poll,
+		DryRun:       *dryRun,
+		Telemetry:    sink,
+		Alerts:       alertLogger(logger),
+		Scheduler:    sched,
+		Checkpoint:   store.NewWriter(*device, *device+"@"+role),
 	}, refs)
-	loop.Post(leaf.Start)
+	if !*backup {
+		loop.Post(leaf.Start)
+	}
 
 	srv := rpc.NewTCPServer(rpc.LoopHandler(loop, leaf.Handler()))
 	srv.SetTelemetry(sink)
@@ -84,7 +125,53 @@ func main() {
 	}
 	defer srv.Close()
 	logger.Log(telemetry.LevelInfo, "listening",
-		"device", *device, "limit", power.Watts(*limit), "agents", len(refs), "addr", addr)
+		"device", *device, "limit", power.Watts(*limit), "agents", len(refs), "addr", addr, "role", role)
+
+	if *storeListen != "" {
+		ssrv := rpc.NewTCPServer(rpc.LoopHandler(loop, store.Handler()))
+		ssrv.SetTelemetry(sink)
+		saddr, err := ssrv.Listen(*storeListen)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer ssrv.Close()
+		logger.Log(telemetry.LevelInfo, "state store serving", "addr", saddr)
+	}
+
+	// Failover-pair daemons start in any order, so peer connections are
+	// established in the background with retries: a one-peer shipper per
+	// replication target, and the backup's health probe.
+	if strings.TrimSpace(*storePeers) != "" {
+		for _, peerAddr := range strings.Split(*storePeers, ",") {
+			peerAddr = strings.TrimSpace(peerAddr)
+			dialPersist(loop, peerAddr, sink, logger, func(cl *rpc.TCPClient) {
+				shipper := statestore.NewShipper(loop, store, []statestore.Peer{{Name: peerAddr, Client: cl}},
+					statestore.ShipperConfig{Interval: *storeInterval, Telemetry: sink})
+				shipper.Start()
+				logger.Log(telemetry.LevelInfo, "replicating state store", "peer", peerAddr, "interval", *storeInterval)
+			})
+		}
+	}
+
+	if *backup {
+		dialPersist(loop, *primaryAddr, sink, logger, func(probe *rpc.TCPClient) {
+			fo := core.NewFailoverProbe(loop, probe, *device, leaf, core.FailoverConfig{
+				PingInterval:   *failInterval,
+				FailThreshold:  *failMisses,
+				PingJitterFrac: *failJitter,
+				Store:          store,
+				Alerts:         alertLogger(logger),
+				Telemetry:      sink,
+				OnPromoted: func() {
+					logger.Log(telemetry.LevelWarning, "promoted to active controller",
+						"device", *device, "cycles", leaf.Cycles())
+				},
+			})
+			fo.Start()
+			logger.Log(telemetry.LevelInfo, "standing by as backup",
+				"primary", *primaryAddr, "probe", *failInterval, "misses", *failMisses)
+		})
+	}
 
 	if *metricsAddr != "" {
 		state := func() interface{} {
@@ -128,6 +215,30 @@ func alertLogger(logger *telemetry.Logger) core.AlertFunc {
 		}
 		logger.Log(lvl, a.Msg, "alert", a.Level, "controller", a.Controller, "uptime", a.Time)
 	}
+}
+
+// dialPersist dials addr in the background, retrying until it succeeds,
+// then hands the connected client to wire on the loop goroutine. The
+// daemons of a failover pair reference each other (the backup probes the
+// primary, the primary ships checkpoints to the backup's store), so
+// neither side can require the other to be up at launch. The client lives
+// for the rest of the process; the OS reclaims it at exit.
+func dialPersist(loop *simclock.WallLoop, addr string, sink *telemetry.Sink, logger *telemetry.Logger, wire func(*rpc.TCPClient)) {
+	go func() {
+		for attempt := 1; ; attempt++ {
+			cl, err := rpc.DialTCP(addr, loop)
+			if err == nil {
+				cl.SetTelemetry(sink)
+				loop.Post(func() { wire(cl) })
+				return
+			}
+			if attempt%20 == 1 {
+				logger.Log(telemetry.LevelWarning, "peer not reachable yet; retrying",
+					"addr", addr, "err", err.Error())
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+	}()
 }
 
 // dialAgents parses "id=service@host:port,..." and connects each agent.

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"dynamo/internal/core"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
 	"dynamo/internal/suite"
 	"dynamo/internal/telemetry"
 )
@@ -35,6 +37,9 @@ import (
 func main() {
 	path := flag.String("config", "suite.json", "suite configuration file")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP exposition address for /metrics, /debug/state, /healthz (empty: disabled)")
+	storeListen := flag.String("store-listen", "", "TCP address serving the suite's state store to peers (empty: not served)")
+	storePeers := flag.String("store-peers", "", "comma-separated host:port list of peer state stores to replicate checkpoints to")
+	storeInterval := flag.Duration("store-interval", time.Second, "checkpoint replication cadence")
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stdout, "dynamo-suited")
@@ -60,9 +65,40 @@ func main() {
 		cl.SetTelemetry(sink)
 		return cl, nil
 	}
-	asm, err := suite.Build(loop, cfg, dial, alertLogger(logger), sink)
+	// Every controller in the suite checkpoints into one shared state
+	// store; serve and/or replicate it when the flags ask for it.
+	store := statestore.NewStore(loop, cfg.Name, sink)
+	asm, err := suite.BuildWith(loop, cfg, dial, alertLogger(logger), sink, suite.Options{Store: store})
 	if err != nil {
 		fatal(logger, err)
+	}
+
+	if *storeListen != "" {
+		ssrv := rpc.NewTCPServer(rpc.LoopHandler(loop, store.Handler()))
+		ssrv.SetTelemetry(sink)
+		saddr, err := ssrv.Listen(*storeListen)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer ssrv.Close()
+		logger.Log(telemetry.LevelInfo, "state store serving", "addr", saddr)
+	}
+	if strings.TrimSpace(*storePeers) != "" {
+		var peers []statestore.Peer
+		for _, addr := range strings.Split(*storePeers, ",") {
+			addr = strings.TrimSpace(addr)
+			cl, err := rpc.DialTCP(addr, loop)
+			if err != nil {
+				fatal(logger, fmt.Errorf("dial store peer %s: %w", addr, err))
+			}
+			cl.SetTelemetry(sink)
+			defer cl.Close()
+			peers = append(peers, statestore.Peer{Name: addr, Client: cl})
+		}
+		shipper := statestore.NewShipper(loop, store, peers,
+			statestore.ShipperConfig{Interval: *storeInterval, Telemetry: sink})
+		loop.Post(shipper.Start)
+		logger.Log(telemetry.LevelInfo, "replicating state store", "peers", len(peers), "interval", *storeInterval)
 	}
 
 	// Expose controllers that declare a listen address.

@@ -45,6 +45,7 @@ import (
 	"dynamo/internal/server"
 	"dynamo/internal/sim"
 	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
 	"dynamo/internal/workload"
@@ -159,6 +160,26 @@ type (
 	RolloutConfig = core.RolloutConfig
 	// RolloutPhase is one stage of a staged rollout.
 	RolloutPhase = core.RolloutPhase
+)
+
+// Replicated controller state store (cross-process failover).
+type (
+	// StateStore holds epoch-fenced checkpoint streams, one per
+	// controller, and replicates them to peers for failover adoption.
+	StateStore = statestore.Store
+	// StateStoreEntry is one record of a checkpoint stream.
+	StateStoreEntry = statestore.Entry
+	// CheckpointWriter appends one controller's checkpoints to a store.
+	CheckpointWriter = statestore.Writer
+	// CheckpointShipper replicates a store's streams to peer stores.
+	CheckpointShipper = statestore.Shipper
+	// ShipperConfig tunes checkpoint replication.
+	ShipperConfig = statestore.ShipperConfig
+	// StorePeer is one replication target.
+	StorePeer = statestore.Peer
+	// ControllerCheckpoint is the decoded per-cycle controller state
+	// carried in checkpoint payloads.
+	ControllerCheckpoint = core.ControllerCheckpoint
 )
 
 // Monitoring (paper §VI).
@@ -283,6 +304,18 @@ func NewWatchdog(loop Loop, net *RPCNetwork, serverIDs []string, cfg WatchdogCon
 // registered at CtrlAddr(deviceID).
 func NewFailover(loop Loop, net *RPCNetwork, deviceID string, backup core.Controller, cfg FailoverConfig) *Failover {
 	return core.NewFailover(loop, net, deviceID, backup, cfg)
+}
+
+// NewStateStore creates a replicated controller state store on the loop
+// (tel may be nil).
+func NewStateStore(loop Loop, name string, tel *TelemetrySink) *StateStore {
+	return statestore.NewStore(loop, name, tel)
+}
+
+// NewCheckpointShipper replicates the store's checkpoint streams to the
+// given peers with cumulative-ack log shipping.
+func NewCheckpointShipper(loop Loop, store *StateStore, peers []StorePeer, cfg ShipperConfig) *CheckpointShipper {
+	return statestore.NewShipper(loop, store, peers, cfg)
 }
 
 // NewRollout creates a staged rollout over the target list.

@@ -9,6 +9,7 @@ import (
 
 	"dynamo/internal/power"
 	"dynamo/internal/server"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 )
 
@@ -222,21 +223,28 @@ func TestLeafDeferredReconfig(t *testing.T) {
 
 // TestFailoverJournalHandoff runs a capping episode on the primary, crashes
 // it, and checks the promoted backup adopted the primary's decision journal
-// and cycle counter: the capping episode's records survive the failover and
-// the backup's own records continue the sequence.
+// and cycle counter from the state store: the capping episode's records
+// survive the failover and the backup's own records continue the sequence.
 func TestFailoverJournalHandoff(t *testing.T) {
 	f := newFixture(t)
 	// Tight limit forces a capping episode on the primary (as in
 	// TestLeafCapsOverLimit).
 	refs := f.addFleet(10, "web", 0.8)
 	limit := power.Watts(2800)
-	primary := NewLeaf(f.loop, LeafConfig{DeviceID: "rpp1", Limit: limit}, refs)
-	backup := NewLeaf(f.loop, LeafConfig{DeviceID: "rpp1", Limit: limit}, f.refs())
+	store := statestore.NewStore(f.loop, "test", nil)
+	primary := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: limit,
+		Checkpoint: store.NewWriter("rpp1", "primary"),
+	}, refs)
+	backup := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: limit,
+		Checkpoint: store.NewWriter("rpp1", "backup"),
+	}, f.refs())
 	f.net.Register(CtrlAddr("rpp1"), primary.Handler())
 	primary.Start()
 	fo := NewFailover(f.loop, f.net, "rpp1", backup, FailoverConfig{
 		PingInterval: 3 * time.Second, FailThreshold: 3,
-		Primary: primary, Alerts: f.alertSink(),
+		Store: store, Alerts: f.alertSink(),
 	})
 	fo.Start()
 
@@ -283,11 +291,11 @@ func TestFailoverJournalHandoff(t *testing.T) {
 	}
 	sawHandoff := false
 	for _, a := range f.alerts {
-		if strings.Contains(a.Msg, "journal records handed off") {
+		if strings.Contains(a.Msg, "journal records adopted from state store") {
 			sawHandoff = true
 		}
 	}
 	if !sawHandoff {
-		t.Error("promotion alert does not mention the journal handoff")
+		t.Error("promotion alert does not mention the state-store adoption")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
 )
@@ -50,6 +51,11 @@ type HierarchyConfig struct {
 	// batches cohorts but runs their phases on the loop goroutine; results
 	// are byte-identical at any value.
 	ControlWorkers int
+	// StateStore, when set, attaches a checkpoint writer to every
+	// controller so its recoverable state streams into the replicated
+	// state store each act phase. Checkpointing rides the serial act
+	// phase, so determinism is unaffected.
+	StateStore *statestore.Store
 }
 
 // Hierarchy is a built controller tree mirroring the power topology
@@ -141,6 +147,9 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 			Telemetry:     cfg.Telemetry,
 			Scheduler:     h.Sched,
 		}
+		if cfg.StateStore != nil {
+			lcfg.Checkpoint = cfg.StateStore.NewWriter(string(node.ID), string(node.ID))
+		}
 		if cfg.Validators != nil {
 			lcfg.Validator = cfg.Validators(node.ID)
 		}
@@ -176,6 +185,9 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 				Alerts:    cfg.Alerts,
 				Telemetry: cfg.Telemetry,
 				Scheduler: h.Sched,
+			}
+			if cfg.StateStore != nil {
+				ucfg.Checkpoint = cfg.StateStore.NewWriter(string(node.ID), string(node.ID))
 			}
 			up := NewUpper(loop, ucfg, children)
 			h.Uppers[node.ID] = up

@@ -9,6 +9,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/wire"
 )
@@ -68,6 +69,11 @@ type LeafConfig struct {
 	// the shared cohort worker pool and its act phase serially in device
 	// order. nil runs all phases inline at cycle completion.
 	Scheduler *CohortScheduler
+	// Checkpoint, when set, receives this controller's recoverable state
+	// (journal, cycle counter, band/PID internals, last plan) at the end of
+	// every act phase, so a backup can adopt it from the replicated state
+	// store after a failure. nil disables checkpointing.
+	Checkpoint *statestore.Writer
 }
 
 func (c *LeafConfig) fillDefaults() {
@@ -156,6 +162,10 @@ type Leaf struct {
 	capEvents   uint64
 	uncapEvents uint64
 
+	// ckpt, when set, checkpoints this controller's recoverable state into
+	// the replicated state store at the end of every act phase.
+	ckpt *statestore.Writer
+
 	// phased execution. cycleOpen is true from pollCycle until the act
 	// phase completes; reconfiguration requested in that window is
 	// deferred to the cycle boundary so it cannot race an observe phase
@@ -222,6 +232,7 @@ func NewLeaf(loop simclock.Loop, cfg LeafConfig, agents []AgentRef) *Leaf {
 	}
 	l.tel = newCtrlInstr(cfg.Telemetry, cfg.DeviceID, "leaf")
 	l.cfg.Alerts = l.tel.wrapAlerts(l.cfg.Alerts)
+	l.ckpt = cfg.Checkpoint
 	l.sched = cfg.Scheduler
 	if l.sched != nil {
 		l.schedOrder = l.sched.register()
@@ -452,6 +463,9 @@ func (l *Leaf) complete() {
 // observe phases. No journal writes, alert emission, telemetry, or RPC
 // happens here — those are act-phase effects.
 func (l *Leaf) runObserveDecide(now time.Duration) {
+	if l.tel != nil {
+		defer l.tel.observeDone(time.Now())
+	}
 	l.cycles++
 	p := &l.plan
 	*p = leafPlan{prevAction: l.lastAction, caps: p.caps[:0], alerts: p.alerts[:0]}
@@ -582,6 +596,7 @@ func (l *Leaf) runAct(now time.Duration) {
 		}
 		l.emitAlerts(now, p)
 		l.journal.Add(p.rec)
+		l.checkpoint(now, p.rec)
 		return
 	}
 
@@ -603,9 +618,32 @@ func (l *Leaf) runAct(now time.Duration) {
 		l.sendUncaps()
 	}
 	l.journal.Add(p.rec)
+	l.checkpoint(now, p.rec)
 	if l.tel != nil {
 		l.tel.cycleEnd(l.cycles, l.cycleStartAt, now, p.agg, p.effLimit, p.capCount, p.action)
 	}
+}
+
+// checkpoint writes this cycle's state into the replicated store
+// (act-phase effect, always after the journal write of the same cycle —
+// see the ordering rule in checkpoint.go). A fenced append means a backup
+// has adopted this device: this instance is a zombie and stops itself.
+func (l *Leaf) checkpoint(now time.Duration, rec DecisionRecord) {
+	if l.ckpt == nil {
+		return
+	}
+	fenced, err := writeCheckpoint(l.ckpt, l.journal, rec, l.cycles, l.lastAction, l.contract, l.pid)
+	if err == nil {
+		return
+	}
+	if fenced {
+		l.cfg.Alerts.emit(now, AlertCritical, l.cfg.DeviceID,
+			"checkpoint fenced (stream epoch %d superseded by adoption); stopping zombie controller",
+			l.ckpt.Epoch())
+		l.Stop()
+		return
+	}
+	l.cfg.Alerts.emit(now, AlertWarning, l.cfg.DeviceID, "checkpoint append failed: %v", err)
 }
 
 func (l *Leaf) emitAlerts(now time.Duration, p *leafPlan) {
@@ -625,6 +663,25 @@ func (l *Leaf) AdoptJournal(recs []DecisionRecord, cycles uint64) {
 		l.cycles = cycles
 	}
 }
+
+// AdoptInternals restores band/PID internals, the last action, and the
+// contractual limit from a predecessor's final checkpoint. Call with
+// AdoptJournal, before Start.
+func (l *Leaf) AdoptInternals(ck ControllerCheckpoint) {
+	l.lastAction = ck.LastAction
+	l.contract = ck.Contract
+	if l.pid != nil {
+		l.pid.integral = ck.PIDIntegral
+		l.pid.last = ck.PIDLast
+		l.pid.engaged = ck.PIDEngaged
+		l.pid.started = ck.PIDStarted
+	}
+}
+
+// CheckpointWriter returns the attached state-store writer (nil when
+// checkpointing is disabled). The failover path uses it to continue the
+// adopted stream at its granted epoch.
+func (l *Leaf) CheckpointWriter() *statestore.Writer { return l.ckpt }
 
 // validate cross-checks the aggregation against the breaker's own coarse
 // reading when one is available. Observe-phase: the validator is a pure

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dynamo/internal/power"
+	"dynamo/internal/statestore"
+)
+
+// TestFailoverAdoptsFromReplicaOverLossyLink drives a capping episode on
+// the primary while its checkpoint stream replicates to a replica store
+// over a link that drops 40% of batches (retransmission reorders and
+// duplicates the rest). The primary's host then "dies" (control address
+// partitioned, shipper stopped); the backup must promote and adopt a
+// prefix-consistent journal from the replica: no cycle-number gaps, no
+// duplicates, every adopted record byte-equal to the primary's record of
+// the same cycle.
+func TestFailoverAdoptsFromReplicaOverLossyLink(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(10, "web", 0.8)
+	limit := power.Watts(2800)
+
+	primaryStore := statestore.NewStore(f.loop, "primary", nil)
+	replica := statestore.NewStore(f.loop, "replica", nil)
+	f.net.Register("store/replica", replica.Handler())
+	f.net.SetDropRate("store/replica", 0.4)
+	sh := statestore.NewShipper(f.loop, primaryStore,
+		[]statestore.Peer{{Name: "replica", Client: f.net.Dial("store/replica")}},
+		statestore.ShipperConfig{Interval: 500 * time.Millisecond, Timeout: 200 * time.Millisecond})
+	sh.Start()
+
+	pw := primaryStore.NewWriter("rpp1", "primary")
+	pw.SetSnapshotEvery(4) // frequent snapshots exercise snapshot-plus-delta catch-up
+	primary := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: limit, Checkpoint: pw, Alerts: f.alertSink(),
+	}, refs)
+	// The backup writes its own checkpoints into the replica it adopts from.
+	backup := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: limit,
+		Checkpoint: replica.NewWriter("rpp1", "backup"),
+	}, f.refs())
+	f.net.Register(CtrlAddr("rpp1"), primary.Handler())
+	primary.Start()
+
+	var adopted []DecisionRecord
+	fo := NewFailover(f.loop, f.net, "rpp1", backup, FailoverConfig{
+		PingInterval: 2 * time.Second, FailThreshold: 3,
+		Store: replica, Alerts: f.alertSink(),
+		OnPromoted: func() { adopted = backup.Journal().Records() },
+	})
+	fo.Start()
+
+	// Capping episode under replication.
+	f.loop.RunUntil(40 * time.Second)
+	if primary.CapEvents() == 0 {
+		t.Fatal("primary never capped; episode missing")
+	}
+
+	// Host death: controller unreachable, replication stops mid-stream.
+	sh.Stop()
+	primary.Stop()
+	f.net.SetPartitioned(CtrlAddr("rpp1"), true)
+	f.loop.RunUntil(70 * time.Second)
+	if !fo.Promoted() {
+		t.Fatal("backup not promoted")
+	}
+	f.net.SetPartitioned(CtrlAddr("rpp1"), false)
+
+	// The adopted journal is a prefix of the primary's: the lossy link may
+	// have lost the tail, but never reordered or duplicated what arrived.
+	if len(adopted) == 0 {
+		t.Fatal("backup adopted no records from the replica")
+	}
+	prim := primary.Journal().Records()
+	if len(adopted) > len(prim) {
+		t.Fatalf("backup adopted %d records, primary only produced %d", len(adopted), len(prim))
+	}
+	sawCap := false
+	for i, r := range adopted {
+		if r != prim[i] {
+			t.Fatalf("adopted record %d diverges:\n  primary %v\n  backup  %v", i, prim[i], r)
+		}
+		if i > 0 && r.Cycle != adopted[i-1].Cycle+1 {
+			t.Fatalf("adopted journal has a gap or duplicate: cycle %d follows %d",
+				r.Cycle, adopted[i-1].Cycle)
+		}
+		if r.Action == ActionCap {
+			sawCap = true
+		}
+	}
+	if !sawCap {
+		t.Error("capping episode missing from adopted journal")
+	}
+
+	// The backup resumes the numbering with no gap or duplicate.
+	f.loop.RunUntil(100 * time.Second)
+	all := backup.Journal().Records()
+	if len(all) <= len(adopted) {
+		t.Fatal("backup produced no records of its own after promotion")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Cycle != all[i-1].Cycle+1 {
+			t.Fatalf("backup journal has a gap or duplicate after promotion: cycle %d follows %d",
+				all[i].Cycle, all[i-1].Cycle)
+		}
+	}
+}
+
+// TestZombiePrimaryFencedAtReplica promotes a backup while the old primary
+// is still alive and shipping (a zombie: healthy process, unreachable
+// control address). The adoption bumps the replica's stream epoch, so the
+// zombie's late checkpoint batches are rejected and its shipper latches
+// the device, while the promoted backup keeps appending at the new epoch.
+func TestZombiePrimaryFencedAtReplica(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(10, "web", 0.8)
+	limit := power.Watts(2800)
+
+	primaryStore := statestore.NewStore(f.loop, "primary", nil)
+	replica := statestore.NewStore(f.loop, "replica", nil)
+	f.net.Register("store/replica", replica.Handler())
+	sh := statestore.NewShipper(f.loop, primaryStore,
+		[]statestore.Peer{{Name: "replica", Client: f.net.Dial("store/replica")}},
+		statestore.ShipperConfig{Interval: 500 * time.Millisecond})
+	sh.Start()
+
+	primary := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: limit,
+		Checkpoint: primaryStore.NewWriter("rpp1", "primary"),
+	}, refs)
+	backup := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: limit,
+		Checkpoint: replica.NewWriter("rpp1", "backup"),
+	}, f.refs())
+	f.net.Register(CtrlAddr("rpp1"), primary.Handler())
+	primary.Start()
+	fo := NewFailover(f.loop, f.net, "rpp1", backup, FailoverConfig{
+		PingInterval: 2 * time.Second, FailThreshold: 3,
+		Store: replica, Alerts: f.alertSink(),
+	})
+	fo.Start()
+
+	f.loop.RunUntil(20 * time.Second)
+	// Partition only the control address: probes fail, but the zombie keeps
+	// cycling against its agents and keeps shipping checkpoints.
+	f.net.SetPartitioned(CtrlAddr("rpp1"), true)
+	f.loop.RunUntil(60 * time.Second)
+	if !fo.Promoted() {
+		t.Fatal("backup not promoted")
+	}
+	if !primary.Running() {
+		t.Fatal("zombie primary should still be running (only its control address is partitioned)")
+	}
+
+	// The replica fenced the zombie's stream at adoption...
+	if re, pe := replica.Epoch("rpp1"), primaryStore.Epoch("rpp1"); re <= pe {
+		t.Fatalf("replica epoch %d not ahead of zombie epoch %d after adoption", re, pe)
+	}
+	// ...so the zombie's shipper latched the device...
+	fenced := sh.FencedDevices()
+	if len(fenced) != 1 || fenced[0] != "rpp1" {
+		t.Fatalf("shipper fenced devices = %v, want [rpp1]", fenced)
+	}
+	// ...and every replica entry past the adoption point is the backup's.
+	epoch := replica.Epoch("rpp1")
+	ents, _ := replica.EntriesFrom("rpp1", 1)
+	top := ents[len(ents)-1]
+	if top.Epoch != epoch {
+		t.Fatalf("replica head entry epoch %d, want post-adoption epoch %d", top.Epoch, epoch)
+	}
+	if top.Cycles < backup.Cycles() {
+		t.Fatalf("replica head checkpoint at cycle %d, backup at %d: backup's writes not landing",
+			top.Cycles, backup.Cycles())
+	}
+}
+
+// TestZombieStopsOnSharedStoreFence covers the shared-store deployment
+// (both controllers checkpoint into one store instance): adoption bumps
+// the epoch under the still-running primary, whose very next act-phase
+// checkpoint fails ErrFenced — it must alert and stop actuating.
+func TestZombieStopsOnSharedStoreFence(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(10, "web", 0.8)
+	limit := power.Watts(2800)
+
+	store := statestore.NewStore(f.loop, "shared", nil)
+	primary := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: limit,
+		Checkpoint: store.NewWriter("rpp1", "primary"),
+		Alerts:     f.alertSink(),
+	}, refs)
+	backup := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: limit,
+		Checkpoint: store.NewWriter("rpp1", "backup"),
+	}, f.refs())
+	primary.Start()
+
+	f.loop.RunUntil(10 * time.Second)
+	if !primary.Running() {
+		t.Fatal("primary not running")
+	}
+
+	// Adoption while the primary still cycles: the epoch bump fences it.
+	f.loop.Post(func() {
+		res := store.Adopt("rpp1", "backup")
+		if !res.Found {
+			t.Error("adoption found no stream")
+			return
+		}
+		recs, last, ok := ReplayCheckpoints(res.Entries)
+		if !ok {
+			t.Error("adopted stream did not replay")
+			return
+		}
+		backup.AdoptJournal(recs, last.Cycles)
+		backup.AdoptInternals(last)
+		backup.CheckpointWriter().Install(res.Epoch, res.NextSeq)
+		backup.Start()
+	})
+
+	f.loop.RunUntil(25 * time.Second)
+	if primary.Running() {
+		t.Fatal("fenced zombie primary still running; it must stop on ErrFenced")
+	}
+	if !backup.Running() {
+		t.Fatal("promoted backup not running")
+	}
+	sawFence := false
+	for _, a := range f.alerts {
+		if a.Level == AlertCritical && strings.Contains(a.Msg, "stopping zombie controller") {
+			sawFence = true
+		}
+	}
+	if !sawFence {
+		t.Error("no critical fencing alert from the zombie primary")
+	}
+}
+
+// TestFailoverJitteredProbesTolerateSingleDrop checks the threshold
+// behaviour directly: with FailThreshold 3, two isolated dropped probes
+// must not promote, and probe timestamps must spread (jitter applied).
+func TestFailoverJitteredProbesTolerateSingleDrop(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(4, "web", 0.5)
+	primary := NewLeaf(f.loop, LeafConfig{DeviceID: "rpp1", Limit: power.KW(50)}, refs)
+	backup := NewLeaf(f.loop, LeafConfig{DeviceID: "rpp1", Limit: power.KW(50)}, f.refs())
+	f.net.Register(CtrlAddr("rpp1"), primary.Handler())
+	primary.Start()
+	fo := NewFailover(f.loop, f.net, "rpp1", backup, FailoverConfig{
+		PingInterval: 2 * time.Second, FailThreshold: 3,
+		PingJitterFrac: 0.2, JitterSeed: 42, Alerts: f.alertSink(),
+	})
+	fo.Start()
+
+	// Drop exactly one probe window, then heal; repeat. Never 3 in a row.
+	f.loop.RunUntil(10 * time.Second)
+	f.net.SetPartitioned(CtrlAddr("rpp1"), true)
+	f.loop.RunUntil(12500 * time.Millisecond) // one probe interval inside the partition
+	f.net.SetPartitioned(CtrlAddr("rpp1"), false)
+	f.loop.RunUntil(20 * time.Second)
+	f.net.SetPartitioned(CtrlAddr("rpp1"), true)
+	f.loop.RunUntil(22500 * time.Millisecond)
+	f.net.SetPartitioned(CtrlAddr("rpp1"), false)
+	f.loop.RunUntil(40 * time.Second)
+
+	if fo.Promoted() {
+		t.Fatal("two isolated dropped probes promoted the backup; threshold requires 3 consecutive misses")
+	}
+	if backup.Running() {
+		t.Fatal("backup started without promotion")
+	}
+
+	// A sustained outage still promotes.
+	f.net.SetPartitioned(CtrlAddr("rpp1"), true)
+	f.loop.RunUntil(70 * time.Second)
+	if !fo.Promoted() {
+		t.Fatal("sustained outage did not promote the backup")
+	}
+}

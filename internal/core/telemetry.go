@@ -29,7 +29,8 @@ type ctrlInstr struct {
 	effLimit *telemetry.Gauge
 	capped   *telemetry.Gauge
 
-	cycleDur *telemetry.Histogram
+	cycleDur   *telemetry.Histogram
+	observeDur *telemetry.Histogram
 }
 
 // newCtrlInstr registers one controller's instruments. level is "leaf" or
@@ -54,6 +55,7 @@ func newCtrlInstr(sink *telemetry.Sink, device, level string) *ctrlInstr {
 		effLimit:        sink.Gauge("dynamo_controller_effective_limit_watts", lb...),
 		capped:          sink.Gauge("dynamo_controller_capped_servers", lb...),
 		cycleDur:        sink.Histogram("dynamo_controller_cycle_duration_seconds", nil, lb...),
+		observeDur:      sink.Histogram("dynamo_controller_observe_phase_seconds", PhaseBuckets, lb...),
 	}
 	for _, lvl := range []AlertLevel{AlertInfo, AlertWarning, AlertCritical} {
 		in.alertCounts[lvl] = sink.Counter("dynamo_controller_alerts_total",
@@ -106,6 +108,14 @@ func (in *ctrlInstr) invalidCycle(cycle uint64, start, now time.Duration, failur
 	in.cycleDur.Observe((now - start).Seconds())
 	in.sink.Emit(telemetry.EventAggregateInvalid, in.device, cycle, now,
 		"%d/%d pulls failed", failures, total)
+}
+
+// observeDone records the wall-clock duration of one observe+decide phase
+// for this device. Deferred at the top of runObserveDecide, so it measures
+// the per-device compute cost whether the phase ran inline on the loop or
+// on a cohort worker.
+func (in *ctrlInstr) observeDone(start time.Time) {
+	in.observeDur.Observe(time.Since(start).Seconds())
 }
 
 // transition records a band-decision change (none → cap, cap → uncap, ...).

@@ -9,6 +9,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/wire"
 )
@@ -50,6 +51,9 @@ type UpperConfig struct {
 	// Scheduler, when set, runs the observe+decide phase on the shared
 	// cohort worker pool (see LeafConfig.Scheduler).
 	Scheduler *CohortScheduler
+	// Checkpoint, when set, receives this controller's recoverable state
+	// at the end of every act phase (see LeafConfig.Checkpoint).
+	Checkpoint *statestore.Writer
 }
 
 func (c *UpperConfig) fillDefaults() {
@@ -130,6 +134,9 @@ type Upper struct {
 	capEvents   uint64
 	uncapEvents uint64
 
+	// ckpt, when set, checkpoints recoverable state every act phase.
+	ckpt *statestore.Writer
+
 	// phased execution (see the corresponding Leaf fields).
 	sched      *CohortScheduler
 	schedOrder int
@@ -187,6 +194,7 @@ func NewUpper(loop simclock.Loop, cfg UpperConfig, children []ChildRef) *Upper {
 	}
 	u.tel = newCtrlInstr(cfg.Telemetry, cfg.DeviceID, "upper")
 	u.cfg.Alerts = u.tel.wrapAlerts(u.cfg.Alerts)
+	u.ckpt = cfg.Checkpoint
 	u.sched = cfg.Scheduler
 	if u.sched != nil {
 		u.schedOrder = u.sched.register()
@@ -237,6 +245,17 @@ func (u *Upper) AdoptJournal(recs []DecisionRecord, cycles uint64) {
 		u.cycles = cycles
 	}
 }
+
+// AdoptInternals restores the last action and contractual limit from a
+// predecessor's final checkpoint. Call with AdoptJournal, before Start.
+func (u *Upper) AdoptInternals(ck ControllerCheckpoint) {
+	u.lastAction = ck.LastAction
+	u.contract = ck.Contract
+}
+
+// CheckpointWriter returns the attached state-store writer (nil when
+// checkpointing is disabled).
+func (u *Upper) CheckpointWriter() *statestore.Writer { return u.ckpt }
 
 // ContractedChildren returns the IDs currently under a contractual limit.
 func (u *Upper) ContractedChildren() []string {
@@ -325,6 +344,9 @@ func (u *Upper) complete() {
 // bands, and compute the contract cuts into u.plan. Controller-local
 // state only; safe on a cohort worker.
 func (u *Upper) runObserveDecide(now time.Duration) {
+	if u.tel != nil {
+		defer u.tel.observeDone(time.Now())
+	}
 	u.cycles++
 	p := &u.plan
 	*p = upperPlan{prevAction: u.lastAction, cuts: p.cuts[:0], alerts: p.alerts[:0]}
@@ -446,6 +468,7 @@ func (u *Upper) runAct(now time.Duration) {
 		}
 		u.emitAlerts(now, p)
 		u.journal.Add(p.rec)
+		u.checkpoint(now, p.rec)
 		return
 	}
 
@@ -466,10 +489,31 @@ func (u *Upper) runAct(now time.Duration) {
 		u.sendClearContracts()
 	}
 	u.journal.Add(p.rec)
+	u.checkpoint(now, p.rec)
 	if u.tel != nil {
 		u.tel.cycleEnd(u.cycles, u.cycleStartAt, now, p.agg, p.effLimit,
 			p.contractedCount, p.action)
 	}
+}
+
+// checkpoint mirrors Leaf.checkpoint: act-phase state write, zombie
+// self-stop on fencing.
+func (u *Upper) checkpoint(now time.Duration, rec DecisionRecord) {
+	if u.ckpt == nil {
+		return
+	}
+	fenced, err := writeCheckpoint(u.ckpt, u.journal, rec, u.cycles, u.lastAction, u.contract, nil)
+	if err == nil {
+		return
+	}
+	if fenced {
+		u.cfg.Alerts.emit(now, AlertCritical, u.cfg.DeviceID,
+			"checkpoint fenced (stream epoch %d superseded by adoption); stopping zombie controller",
+			u.ckpt.Epoch())
+		u.Stop()
+		return
+	}
+	u.cfg.Alerts.emit(now, AlertWarning, u.cfg.DeviceID, "checkpoint append failed: %v", err)
 }
 
 func (u *Upper) emitAlerts(now time.Duration, p *upperPlan) {

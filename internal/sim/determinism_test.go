@@ -10,6 +10,7 @@ import (
 
 	"dynamo/internal/core"
 	"dynamo/internal/power"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
 )
@@ -41,6 +42,14 @@ type fingerprint struct {
 // on, a saturating surge that trips breakers, and a restore that starts
 // DCUPS recharges.
 func runDetScenario(t *testing.T, workers, ctrlWorkers int, tel *telemetry.Sink) fingerprint {
+	fp, _ := runDetScenarioCkpt(t, workers, ctrlWorkers, tel, false)
+	return fp
+}
+
+// runDetScenarioCkpt is runDetScenario with optional state-store
+// checkpointing; the second return is the store's per-device stream
+// digest (nil when checkpointing is off).
+func runDetScenarioCkpt(t *testing.T, workers, ctrlWorkers int, tel *telemetry.Sink, ckpt bool) (fingerprint, map[string][]uint64) {
 	t.Helper()
 	spec := detSpec()
 	s, err := New(Config{
@@ -51,6 +60,7 @@ func runDetScenario(t *testing.T, workers, ctrlWorkers int, tel *telemetry.Sink)
 		TickWorkers:       workers,
 		ControlWorkers:    ctrlWorkers,
 		Telemetry:         tel,
+		Checkpoint:        ckpt,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +81,26 @@ func runDetScenario(t *testing.T, workers, ctrlWorkers int, tel *telemetry.Sink)
 	for _, id := range []topology.NodeID{rpp.ID, rpp.Parent.ID} {
 		fp.Series[id] = append([]float64(nil), s.Series(id).Values()...)
 	}
-	return fp
+	return fp, storeDigest(s.Store)
+}
+
+// storeDigest summarizes a state store's streams for byte-identity
+// comparison: per device, the epoch, next sequence number, and the cycle
+// number of every retained entry.
+func storeDigest(st *statestore.Store) map[string][]uint64 {
+	if st == nil {
+		return nil
+	}
+	out := map[string][]uint64{}
+	for _, dev := range st.Devices() {
+		ents, next := st.EntriesFrom(dev, 1)
+		row := []uint64{st.Epoch(dev), next}
+		for _, e := range ents {
+			row = append(row, e.Seq, e.Cycles, uint64(e.Kind), uint64(len(e.Payload)))
+		}
+		out[dev] = row
+	}
+	return out
 }
 
 // TestSimDeterminismGolden asserts the core contract of the aggregation
@@ -101,17 +130,46 @@ func TestSimDeterminismGolden(t *testing.T) {
 	check("telemetry/ctrl-4", runDetScenario(t, 8, 4, telemetry.NewSink()))
 	check("telemetry/ctrl-16", runDetScenario(t, 4, 16, telemetry.NewSink()))
 
+	// Checkpointing must not perturb outcomes either (the act-phase
+	// ordering rule), and the store's streams must themselves be
+	// byte-identical across worker counts.
+	ckptFP, ckptDigest := runDetScenarioCkpt(t, 1, 1, nil, true)
+	check("checkpoint/serial", ckptFP)
+	if len(ckptDigest) == 0 {
+		t.Fatal("checkpointing produced no streams; determinism check is vacuous")
+	}
+	fp84, dig84 := runDetScenarioCkpt(t, 8, 4, nil, true)
+	check("checkpoint/tick-8/ctrl-4", fp84)
+	fp316, dig316 := runDetScenarioCkpt(t, 3, 16, nil, true)
+	check("checkpoint/tick-3/ctrl-16", fp316)
+	fpTel, digTel := runDetScenarioCkpt(t, 8, 4, telemetry.NewSink(), true)
+	check("checkpoint/telemetry", fpTel)
+	for name, dig := range map[string]map[string][]uint64{
+		"tick-8/ctrl-4": dig84, "tick-3/ctrl-16": dig316, "telemetry": digTel,
+	} {
+		if !reflect.DeepEqual(ckptDigest, dig) {
+			t.Errorf("checkpoint streams diverge from serial baseline at %s", name)
+		}
+	}
+
 	// Worker counts of 0 defer to GOMAXPROCS; sweeping it proves the
 	// deployment's core count never leaks into results.
 	old := runtime.GOMAXPROCS(1)
 	got1 := runDetScenario(t, 0, 0, nil) // 0 → GOMAXPROCS = 1 worker
+	fpCk1, digCk1 := runDetScenarioCkpt(t, 0, 0, nil, true)
 	runtime.GOMAXPROCS(8)
 	got8 := runDetScenario(t, 0, 0, nil) // 0 → GOMAXPROCS = 8 workers
 	gotTel := runDetScenario(t, 0, 0, telemetry.NewSink())
+	fpCk8, digCk8 := runDetScenarioCkpt(t, 0, 0, nil, true)
 	runtime.GOMAXPROCS(old)
 	check("gomaxprocs-1", got1)
 	check("gomaxprocs-8", got8)
 	check("gomaxprocs-8/telemetry", gotTel)
+	check("gomaxprocs-1/checkpoint", fpCk1)
+	check("gomaxprocs-8/checkpoint", fpCk8)
+	if !reflect.DeepEqual(digCk1, ckptDigest) || !reflect.DeepEqual(digCk8, ckptDigest) {
+		t.Error("checkpoint streams diverge across GOMAXPROCS")
+	}
 }
 
 // hierarchyJournals snapshots every controller's decision journal, keyed

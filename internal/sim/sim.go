@@ -23,6 +23,7 @@ import (
 	"dynamo/internal/rpc"
 	"dynamo/internal/server"
 	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/topology"
 	"dynamo/internal/workload"
@@ -93,6 +94,11 @@ type Config struct {
 	// their phases on the loop goroutine. Results are byte-identical at
 	// any setting, exactly as with TickWorkers.
 	ControlWorkers int
+	// Checkpoint attaches a replicated-state-store writer to every
+	// controller, checkpointing each decision cycle into Sim.Store.
+	// Checkpoint writes ride the serial act phase, so enabling this keeps
+	// runs byte-identical to Checkpoint=false at any worker count.
+	Checkpoint bool
 }
 
 // recharge is one rack's decaying DCUPS recharge draw.
@@ -124,6 +130,8 @@ type Sim struct {
 
 	Hierarchy *core.Hierarchy
 	Breakers  map[topology.NodeID]*power.Breaker
+	// Store is the controller state store (nil unless Cfg.Checkpoint).
+	Store *statestore.Store
 
 	serverOrder []string
 	deviceOrder []topology.NodeID
@@ -375,6 +383,12 @@ func New(cfg Config) (*Sim, error) {
 					return v, ok
 				}
 			}
+		}
+		if cfg.Checkpoint && hcfg.StateStore == nil {
+			s.Store = statestore.NewStore(s.Loop, "sim", cfg.Telemetry)
+			hcfg.StateStore = s.Store
+		} else if hcfg.StateStore != nil {
+			s.Store = hcfg.StateStore
 		}
 		h, err := core.BuildHierarchy(s.Loop, s.Net, topo, hcfg)
 		if err != nil {

@@ -1,0 +1,68 @@
+package statestore_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dynamo/internal/core"
+	"dynamo/internal/power"
+	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
+	"dynamo/internal/wire"
+)
+
+// BenchmarkCheckpointReplication measures one full control-cycle's
+// checkpoint cost at data-center scale: every leaf controller encodes a
+// delta checkpoint, appends it to the local store, and the batch
+// replicates into a peer store. Fleet sizes model 2k and 10k servers at
+// the paper's ~32 servers per leaf device.
+func BenchmarkCheckpointReplication(b *testing.B) {
+	for _, servers := range []int{2_000, 10_000} {
+		devices := servers / 32
+		b.Run(fmt.Sprintf("servers=%d/devices=%d", servers, devices), func(b *testing.B) {
+			loop := simclock.NewSimLoop()
+			src := statestore.NewStore(loop, "src", nil)
+			dst := statestore.NewStore(loop, "dst", nil)
+			writers := make([]*statestore.Writer, devices)
+			for i := range writers {
+				writers[i] = src.NewWriter(fmt.Sprintf("rpp-%04d", i), "primary")
+				// Keep the benchmark on the steady-state delta path.
+				writers[i].SetSnapshotEvery(1 << 30)
+			}
+			rec := core.DecisionRecord{
+				Time: time.Second, Agg: power.KW(9), Valid: true,
+				EffLimit: power.KW(8), Action: core.ActionCap,
+				Target: power.KW(8), ServersPlanned: 5,
+				Achieved: power.KW(1),
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				cycle := uint64(n + 1)
+				rec.Cycle = cycle
+				for _, w := range writers {
+					ck := core.ControllerCheckpoint{
+						Cycles:     cycle,
+						LastAction: core.ActionCap,
+						Contract:   power.KW(8),
+						Records:    []core.DecisionRecord{rec},
+					}
+					if err := w.Append(statestore.KindDelta, cycle, wire.Marshal(&ck)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Replicate this cycle's batch of deltas to the peer.
+				var batch []statestore.Entry
+				for i := range writers {
+					dev := fmt.Sprintf("rpp-%04d", i)
+					ents, _ := src.EntriesFrom(dev, cycle)
+					batch = append(batch, ents...)
+				}
+				dst.Replicate("src", batch)
+			}
+			b.ReportMetric(float64(devices), "devices/cycle")
+		})
+	}
+}

@@ -1,0 +1,313 @@
+package statestore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dynamo/internal/rpc"
+	"dynamo/internal/wire"
+)
+
+// State-store RPC method names.
+const (
+	// MethodAppend appends one entry written by a remote stream owner.
+	MethodAppend = "StateStore.Append"
+	// MethodReplicate applies a shipped batch and returns cumulative acks.
+	MethodReplicate = "StateStore.Replicate"
+	// MethodAdopt transfers stream ownership and returns the retained
+	// stream for replay (failover promotion).
+	MethodAdopt = "StateStore.Adopt"
+	// MethodPing reports store liveness and stream counts.
+	MethodPing = "StateStore.Ping"
+)
+
+// marshalEntry/unmarshalEntry are shared by every message carrying entries.
+func marshalEntry(e *wire.Encoder, ent *Entry) {
+	e.String(ent.Device)
+	e.Uvarint(ent.Epoch)
+	e.Uvarint(ent.Seq)
+	e.Uvarint(uint64(ent.Kind))
+	e.Uvarint(ent.Cycles)
+	e.Bytes2(ent.Payload)
+}
+
+func unmarshalEntry(d *wire.Decoder, ent *Entry) {
+	ent.Device = d.String()
+	ent.Epoch = d.Uvarint()
+	ent.Seq = d.Uvarint()
+	ent.Kind = Kind(d.Uvarint())
+	ent.Cycles = d.Uvarint()
+	ent.Payload = d.Bytes2()
+}
+
+// maxBatchEntries bounds decoded batch sizes against corrupt frames.
+const maxBatchEntries = 1 << 16
+
+// AppendRequest carries one entry from a remote stream owner.
+type AppendRequest struct {
+	Entry Entry
+}
+
+// MarshalWire implements wire.Message.
+func (m *AppendRequest) MarshalWire(e *wire.Encoder) { marshalEntry(e, &m.Entry) }
+
+// UnmarshalWire implements wire.Message.
+func (m *AppendRequest) UnmarshalWire(d *wire.Decoder) error {
+	unmarshalEntry(d, &m.Entry)
+	return d.Err()
+}
+
+// AppendResponse reports the append outcome and the stream's position so a
+// fenced or out-of-sync writer can discover it.
+type AppendResponse struct {
+	OK      bool
+	Fenced  bool
+	Epoch   uint64
+	NextSeq uint64
+}
+
+// MarshalWire implements wire.Message.
+func (m *AppendResponse) MarshalWire(e *wire.Encoder) {
+	e.Bool(m.OK)
+	e.Bool(m.Fenced)
+	e.Uvarint(m.Epoch)
+	e.Uvarint(m.NextSeq)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *AppendResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.OK = d.Bool()
+	m.Fenced = d.Bool()
+	m.Epoch = d.Uvarint()
+	m.NextSeq = d.Uvarint()
+	return d.Err()
+}
+
+// ReplicateRequest ships a batch of entries to a peer store.
+type ReplicateRequest struct {
+	// Source names the shipping store (telemetry/ownership bookkeeping).
+	Source  string
+	Entries []Entry
+}
+
+// MarshalWire implements wire.Message.
+func (m *ReplicateRequest) MarshalWire(e *wire.Encoder) {
+	e.String(m.Source)
+	e.Uvarint(uint64(len(m.Entries)))
+	for i := range m.Entries {
+		marshalEntry(e, &m.Entries[i])
+	}
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *ReplicateRequest) UnmarshalWire(d *wire.Decoder) error {
+	m.Source = d.String()
+	n := d.Uvarint()
+	if n > maxBatchEntries {
+		return fmt.Errorf("statestore: replicate batch of %d entries exceeds limit", n)
+	}
+	m.Entries = make([]Entry, n)
+	for i := range m.Entries {
+		unmarshalEntry(d, &m.Entries[i])
+	}
+	return d.Err()
+}
+
+// ReplicateResponse returns one cumulative ack per shipped device.
+type ReplicateResponse struct {
+	Acks []DeviceAck
+}
+
+// MarshalWire implements wire.Message.
+func (m *ReplicateResponse) MarshalWire(e *wire.Encoder) {
+	e.Uvarint(uint64(len(m.Acks)))
+	for i := range m.Acks {
+		a := &m.Acks[i]
+		e.String(a.Device)
+		e.Uvarint(a.NextSeq)
+		e.Uvarint(a.Epoch)
+		e.Bool(a.Fenced)
+	}
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *ReplicateResponse) UnmarshalWire(d *wire.Decoder) error {
+	n := d.Uvarint()
+	if n > maxBatchEntries {
+		return fmt.Errorf("statestore: ack batch of %d exceeds limit", n)
+	}
+	m.Acks = make([]DeviceAck, n)
+	for i := range m.Acks {
+		a := &m.Acks[i]
+		a.Device = d.String()
+		a.NextSeq = d.Uvarint()
+		a.Epoch = d.Uvarint()
+		a.Fenced = d.Bool()
+	}
+	return d.Err()
+}
+
+// AdoptRequest transfers ownership of a device's stream to writer.
+type AdoptRequest struct {
+	Device string
+	Writer string
+}
+
+// MarshalWire implements wire.Message.
+func (m *AdoptRequest) MarshalWire(e *wire.Encoder) {
+	e.String(m.Device)
+	e.String(m.Writer)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *AdoptRequest) UnmarshalWire(d *wire.Decoder) error {
+	m.Device = d.String()
+	m.Writer = d.String()
+	return d.Err()
+}
+
+// AdoptResponse is the wire form of AdoptResult.
+type AdoptResponse struct {
+	Found   bool
+	Epoch   uint64
+	NextSeq uint64
+	Cycles  uint64
+	Entries []Entry
+}
+
+// MarshalWire implements wire.Message.
+func (m *AdoptResponse) MarshalWire(e *wire.Encoder) {
+	e.Bool(m.Found)
+	e.Uvarint(m.Epoch)
+	e.Uvarint(m.NextSeq)
+	e.Uvarint(m.Cycles)
+	e.Uvarint(uint64(len(m.Entries)))
+	for i := range m.Entries {
+		marshalEntry(e, &m.Entries[i])
+	}
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *AdoptResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.Found = d.Bool()
+	m.Epoch = d.Uvarint()
+	m.NextSeq = d.Uvarint()
+	m.Cycles = d.Uvarint()
+	n := d.Uvarint()
+	if n > maxBatchEntries {
+		return fmt.Errorf("statestore: adopt batch of %d entries exceeds limit", n)
+	}
+	m.Entries = make([]Entry, n)
+	for i := range m.Entries {
+		unmarshalEntry(d, &m.Entries[i])
+	}
+	return d.Err()
+}
+
+// PingResponse reports store liveness.
+type PingResponse struct {
+	Healthy bool
+	Devices uint64
+	Entries uint64
+}
+
+// MarshalWire implements wire.Message.
+func (m *PingResponse) MarshalWire(e *wire.Encoder) {
+	e.Bool(m.Healthy)
+	e.Uvarint(m.Devices)
+	e.Uvarint(m.Entries)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *PingResponse) UnmarshalWire(d *wire.Decoder) error {
+	m.Healthy = d.Bool()
+	m.Devices = d.Uvarint()
+	m.Entries = d.Uvarint()
+	return d.Err()
+}
+
+// Handler serves the state-store protocol. The store is loop-confined, so
+// transports that dispatch off-loop (TCPServer) must wrap this with
+// rpc.LoopHandler, exactly as for the controllers.
+func (s *Store) Handler() rpc.Handler {
+	return func(method string, body []byte) (wire.Message, error) {
+		switch method {
+		case MethodAppend:
+			var req AppendRequest
+			if err := wire.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			err := s.Append(req.Entry)
+			st := s.get(req.Entry.Device)
+			return &AppendResponse{
+				OK:      err == nil,
+				Fenced:  err != nil && isFenced(err),
+				Epoch:   st.epoch,
+				NextSeq: st.nextSeq,
+			}, nil
+		case MethodReplicate:
+			var req ReplicateRequest
+			if err := wire.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			return &ReplicateResponse{Acks: s.Replicate(req.Source, req.Entries)}, nil
+		case MethodAdopt:
+			var req AdoptRequest
+			if err := wire.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			res := s.Adopt(req.Device, req.Writer)
+			return &AdoptResponse{
+				Found:   res.Found,
+				Epoch:   res.Epoch,
+				NextSeq: res.NextSeq,
+				Cycles:  res.Cycles,
+				Entries: res.Entries,
+			}, nil
+		case MethodPing:
+			return &PingResponse{
+				Healthy: true,
+				Devices: uint64(len(s.devices)),
+				Entries: uint64(s.totalEntries()),
+			}, nil
+		default:
+			return nil, fmt.Errorf("statestore %s: unknown method %q", s.name, method)
+		}
+	}
+}
+
+// isFenced reports whether err wraps ErrFenced.
+func isFenced(err error) bool { return errors.Is(err, ErrFenced) }
+
+// Remote adapts an RPC client to the Source adoption surface, letting a
+// backup on another process adopt from a store reached over TCP (or any
+// transport).
+type Remote struct {
+	Client rpc.Client
+}
+
+// AdoptState implements Source.
+func (r Remote) AdoptState(device, writer string, timeout time.Duration, done func(AdoptResult, error)) {
+	req := &AdoptRequest{Device: device, Writer: writer}
+	r.Client.Call(MethodAdopt, req, timeout, func(resp []byte, err error) {
+		var ar AdoptResponse
+		if derr := rpc.Decode(resp, err, &ar); derr != nil {
+			done(AdoptResult{}, derr)
+			return
+		}
+		done(AdoptResult{
+			Found:   ar.Found,
+			Epoch:   ar.Epoch,
+			NextSeq: ar.NextSeq,
+			Cycles:  ar.Cycles,
+			Entries: ar.Entries,
+		}, nil)
+	})
+}
+
+// Compile-time interface checks.
+var (
+	_ Source = (*Store)(nil)
+	_ Source = Remote{}
+)

@@ -15,6 +15,7 @@ import (
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/simclock"
+	"dynamo/internal/statestore"
 	"dynamo/internal/telemetry"
 )
 
@@ -94,14 +95,30 @@ type Assembly struct {
 	// controllers: the wall-clock path keeps inline-equivalent phase
 	// execution while gaining the per-phase telemetry histograms.
 	Sched *core.CohortScheduler
+	// Store is the replicated controller state store every controller
+	// checkpoints into (nil when Options.Store was not set).
+	Store *statestore.Store
 
 	order []string
+}
+
+// Options tunes Build beyond the required wiring.
+type Options struct {
+	// Store, when set, attaches a checkpoint writer to every controller
+	// so its recoverable state streams into the replicated state store
+	// each decision cycle. The store must live on the same loop.
+	Store *statestore.Store
 }
 
 // Build constructs every controller in the suite configuration. tel may be
 // nil to disable telemetry. On error, every connection dialed so far is
 // closed before returning — a failed suite assembly must not leak sockets.
 func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.AlertFunc, tel *telemetry.Sink) (*Assembly, error) {
+	return BuildWith(loop, cfg, dial, alerts, tel, Options{})
+}
+
+// BuildWith is Build with assembly options.
+func BuildWith(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.AlertFunc, tel *telemetry.Sink, opts Options) (*Assembly, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,6 +128,7 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 		Uppers: map[string]*core.Upper{},
 		Intra:  rpc.NewNetwork(loop, 0, 1),
 		Sched:  core.NewCohortScheduler(loop, 1, tel),
+		Store:  opts.Store,
 	}
 
 	// Dial every remote endpoint — leaf agents and uppers' out-of-suite
@@ -181,6 +199,9 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 		if c.Bands != nil {
 			lc.Bands = bandConfig(c.Bands)
 		}
+		if a.Store != nil {
+			lc.Checkpoint = a.Store.NewWriter(c.Device, cfg.Name+"/"+c.Device)
+		}
 		leaf := core.NewLeaf(loop, lc, refs)
 		a.Leaves[c.Device] = leaf
 		a.Intra.Register(core.CtrlAddr(c.Device), leaf.Handler())
@@ -220,6 +241,9 @@ func Build(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.Alert
 		}
 		if c.Bands != nil {
 			uc.Bands = bandConfig(c.Bands)
+		}
+		if a.Store != nil {
+			uc.Checkpoint = a.Store.NewWriter(c.Device, cfg.Name+"/"+c.Device)
 		}
 		up := core.NewUpper(loop, uc, children)
 		a.Uppers[c.Device] = up

@@ -37,6 +37,10 @@ const (
 	// EventScenario marks a simulator scenario action (load shift, outage,
 	// restore, turbo toggle) so decision traces line up with their cause.
 	EventScenario EventType = "scenario"
+	// EventPromotion records a failover promotion or a state-store stream
+	// adoption, so the decision trace shows exactly when control moved from
+	// a failed primary to its backup.
+	EventPromotion EventType = "promotion"
 )
 
 // Event is one structured trace record. Cycle links the event to the
