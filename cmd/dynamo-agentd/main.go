@@ -25,6 +25,7 @@ import (
 
 	"dynamo/internal/agent"
 	"dynamo/internal/platform"
+	"dynamo/internal/power"
 	"dynamo/internal/rpc"
 	"dynamo/internal/server"
 	"dynamo/internal/simclock"
@@ -41,6 +42,7 @@ func main() {
 	platName := flag.String("platform", "msr", "platform backend: msr, ipmi, or estimated")
 	seed := flag.Int64("seed", 1, "seed for workload and sensor noise")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP exposition address for /metrics, /debug/state, /healthz (empty: disabled)")
+	capLeaseTTL := flag.Duration("cap-lease-ttl", 15*time.Second, "release a cap whose lease is not renewed within this TTL (fail-safe against a dead controller); 0 disables")
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stdout, "dynamo-agentd")
@@ -95,6 +97,12 @@ func main() {
 
 	ag := agent.New(*id, *service, *generation, plat)
 	ag.SetTelemetry(sink)
+	if *capLeaseTTL > 0 {
+		ag.EnableLease(loop, *capLeaseTTL, func(id string, limit power.Watts) {
+			logger.Log(telemetry.LevelWarning, "cap lease expired; limit released",
+				"id", id, "limit", limit)
+		})
+	}
 	srv := rpc.NewTCPServer(rpc.LoopHandler(loop, ag.Handler()))
 	srv.SetTelemetry(sink)
 	addr, err := srv.Listen(*listen)

@@ -54,6 +54,11 @@ func main() {
 	dryRun := flag.Bool("dry-run", false, "compute capping plans without actuating")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP exposition address for /metrics, /debug/state, /healthz (empty: disabled)")
 	poll := flag.Duration("poll", 0, "decision-cycle poll interval (0: paper default 3s)")
+	rpcTimeout := flag.Duration("rpc-timeout", 2*time.Second, "default deadline for outbound RPCs that would otherwise be unbounded")
+	rpcRetries := flag.Int("rpc-retries", 2, "bounded retries per failed agent RPC (0: single attempt)")
+	rpcRetryBackoff := flag.Duration("rpc-retry-backoff", 100*time.Millisecond, "base backoff between RPC retries (doubles per attempt, jittered)")
+	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive failed pulls before an agent is quarantined (0: disabled)")
+	capLeaseTTL := flag.Duration("cap-lease-ttl", 12*time.Second, "cap lease attached to SetCap and renewed each cycle; 0 sends unleased caps")
 	storeListen := flag.String("store-listen", "", "TCP address serving this daemon's state store to peers (empty: not served)")
 	storePeers := flag.String("store-peers", "", "comma-separated host:port list of peer state stores to replicate checkpoints to")
 	storeInterval := flag.Duration("store-interval", time.Second, "checkpoint replication cadence")
@@ -79,7 +84,7 @@ func main() {
 		sink = telemetry.NewSink()
 	}
 
-	refs, closers, err := dialAgents(*agents, loop, sink)
+	refs, closers, err := dialAgents(*agents, loop, sink, *rpcTimeout)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -112,6 +117,15 @@ func main() {
 		Alerts:       alertLogger(logger),
 		Scheduler:    sched,
 		Checkpoint:   store.NewWriter(*device, *device+"@"+role),
+
+		Retry: core.RetryConfig{
+			MaxRetries: *rpcRetries,
+			Backoff:    *rpcRetryBackoff,
+			JitterFrac: 0.2,
+			Seed:       1,
+		},
+		QuarantineThreshold: *quarantineAfter,
+		CapLeaseTTL:         *capLeaseTTL,
 	}, refs)
 	if !*backup {
 		loop.Post(leaf.Start)
@@ -241,38 +255,32 @@ func dialPersist(loop *simclock.WallLoop, addr string, sink *telemetry.Sink, log
 	}()
 }
 
-// dialAgents parses "id=service@host:port,..." and connects each agent.
-// On any error, every connection dialed so far is closed before returning:
-// a half-assembled controller must not leak sockets.
-func dialAgents(list string, loop simclock.Loop, sink *telemetry.Sink) ([]core.AgentRef, []rpc.Client, error) {
+// dialAgents parses "id=service@host:port,..." and connects each agent
+// through a self-reconnecting client: an agent that is down at launch or
+// restarted mid-flight surfaces as retryable pull failures (retry →
+// quarantine → probe re-admission), never as a permanently dead socket.
+// Each client is wrapped with a default RPC deadline so no production
+// path can issue an unbounded Call.
+func dialAgents(list string, loop simclock.Loop, sink *telemetry.Sink, defaultTimeout time.Duration) ([]core.AgentRef, []rpc.Client, error) {
 	var refs []core.AgentRef
 	var closers []rpc.Client
 	if strings.TrimSpace(list) == "" {
 		return refs, closers, nil
 	}
-	fail := func(err error) ([]core.AgentRef, []rpc.Client, error) {
-		for _, c := range closers {
-			c.Close()
-		}
-		return nil, nil, err
-	}
 	for _, entry := range strings.Split(list, ",") {
 		entry = strings.TrimSpace(entry)
 		idSvc, addr, ok := strings.Cut(entry, "@")
 		if !ok {
-			return fail(fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry))
+			return nil, nil, fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry)
 		}
 		id, svc, ok := strings.Cut(idSvc, "=")
 		if !ok {
-			return fail(fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry))
+			return nil, nil, fmt.Errorf("bad agent entry %q (want id=service@host:port)", entry)
 		}
-		cl, err := rpc.DialTCP(addr, loop)
-		if err != nil {
-			return fail(fmt.Errorf("dial %s: %w", addr, err))
-		}
+		cl := rpc.RedialTCP(addr, loop)
 		cl.SetTelemetry(sink)
 		closers = append(closers, cl)
-		refs = append(refs, core.AgentRef{ServerID: id, Service: svc, Client: cl})
+		refs = append(refs, core.AgentRef{ServerID: id, Service: svc, Client: rpc.WithDefaultTimeout(cl, defaultTimeout)})
 	}
 	return refs, closers, nil
 }

@@ -40,6 +40,11 @@ func main() {
 	storeListen := flag.String("store-listen", "", "TCP address serving the suite's state store to peers (empty: not served)")
 	storePeers := flag.String("store-peers", "", "comma-separated host:port list of peer state stores to replicate checkpoints to")
 	storeInterval := flag.Duration("store-interval", time.Second, "checkpoint replication cadence")
+	rpcTimeout := flag.Duration("rpc-timeout", 2*time.Second, "default deadline for outbound RPCs that would otherwise be unbounded")
+	rpcRetries := flag.Int("rpc-retries", 2, "bounded retries per failed agent/child RPC (0: single attempt)")
+	rpcRetryBackoff := flag.Duration("rpc-retry-backoff", 100*time.Millisecond, "base backoff between RPC retries (doubles per attempt, jittered)")
+	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive failed pulls before a leaf quarantines an agent (0: disabled)")
+	capLeaseTTL := flag.Duration("cap-lease-ttl", 12*time.Second, "cap lease attached to SetCap and renewed each cycle; 0 sends unleased caps")
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stdout, "dynamo-suited")
@@ -57,18 +62,28 @@ func main() {
 		sink = telemetry.NewSink()
 	}
 
+	// Self-reconnecting clients: an agent or out-of-suite child that is
+	// down at launch (or restarts later) degrades to retryable failures —
+	// and quarantine probes can re-admit it — instead of a dead socket.
 	dial := func(addr string) (rpc.Client, error) {
-		cl, err := rpc.DialTCP(addr, loop)
-		if err != nil {
-			return nil, err
-		}
+		cl := rpc.RedialTCP(addr, loop)
 		cl.SetTelemetry(sink)
-		return cl, nil
+		return rpc.WithDefaultTimeout(cl, *rpcTimeout), nil
 	}
 	// Every controller in the suite checkpoints into one shared state
 	// store; serve and/or replicate it when the flags ask for it.
 	store := statestore.NewStore(loop, cfg.Name, sink)
-	asm, err := suite.BuildWith(loop, cfg, dial, alertLogger(logger), sink, suite.Options{Store: store})
+	asm, err := suite.BuildWith(loop, cfg, dial, alertLogger(logger), sink, suite.Options{
+		Store: store,
+		Retry: core.RetryConfig{
+			MaxRetries: *rpcRetries,
+			Backoff:    *rpcRetryBackoff,
+			JitterFrac: 0.2,
+			Seed:       1,
+		},
+		QuarantineThreshold: *quarantineAfter,
+		CapLeaseTTL:         *capLeaseTTL,
+	})
 	if err != nil {
 		fatal(logger, err)
 	}

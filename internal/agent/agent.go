@@ -8,6 +8,7 @@ import (
 	"dynamo/internal/platform"
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/wire"
 )
@@ -27,6 +28,16 @@ type Agent struct {
 	uncaps uint64
 	errs   uint64
 
+	// Cap-lease fail-safe (paper §III-E: capping must not survive
+	// controller death). All lease fields except leaseExpiries are
+	// loop-confined: handlers run on the loop (in-proc transport or
+	// rpc.LoopHandler), so timer arm/stop never races.
+	loop          simclock.Loop
+	leaseTTL      time.Duration
+	leaseTimer    *simclock.Timer
+	onLeaseExpire func(id string, limit power.Watts)
+	leaseExpiries uint64 // guarded by mu (read by Stats-style accessors)
+
 	tel *agentInstr // nil when telemetry is disabled
 }
 
@@ -34,6 +45,7 @@ type Agent struct {
 // once; the request path is atomic increments plus two clock reads.
 type agentInstr struct {
 	reads, caps, uncaps, errs *telemetry.Counter
+	leaseExp, leaseRenew      *telemetry.Counter
 	readDur, capDur           *telemetry.Histogram
 }
 
@@ -46,13 +58,36 @@ func (a *Agent) SetTelemetry(s *telemetry.Sink) {
 	}
 	lb := []string{"server", a.id}
 	a.tel = &agentInstr{
-		reads:   s.Counter("dynamo_agent_reads_total", lb...),
-		caps:    s.Counter("dynamo_agent_caps_total", lb...),
-		uncaps:  s.Counter("dynamo_agent_uncaps_total", lb...),
-		errs:    s.Counter("dynamo_agent_errors_total", lb...),
-		readDur: s.Histogram("dynamo_agent_read_duration_seconds", nil, lb...),
-		capDur:  s.Histogram("dynamo_agent_cap_duration_seconds", nil, lb...),
+		reads:      s.Counter("dynamo_agent_reads_total", lb...),
+		caps:       s.Counter("dynamo_agent_caps_total", lb...),
+		uncaps:     s.Counter("dynamo_agent_uncaps_total", lb...),
+		errs:       s.Counter("dynamo_agent_errors_total", lb...),
+		leaseExp:   s.Counter("dynamo_agent_lease_expiries_total", lb...),
+		leaseRenew: s.Counter("dynamo_agent_lease_renewals_total", lb...),
+		readDur:    s.Histogram("dynamo_agent_read_duration_seconds", nil, lb...),
+		capDur:     s.Histogram("dynamo_agent_cap_duration_seconds", nil, lb...),
 	}
+}
+
+// EnableLease arms the cap-lease fail-safe: every accepted SetCap starts
+// (and every RenewLease refreshes) a TTL timer on loop; if it fires
+// before the next renewal, the agent releases its power limit on the
+// assumption that the controller died mid-capping, and reports through
+// onExpire (which runs on the loop goroutine; may be nil). defaultTTL
+// applies to SetCaps that carry no lease of their own; zero means such
+// caps are not guarded. Call before the agent starts serving.
+func (a *Agent) EnableLease(loop simclock.Loop, defaultTTL time.Duration, onExpire func(id string, limit power.Watts)) {
+	a.loop = loop
+	a.leaseTTL = defaultTTL
+	a.onLeaseExpire = onExpire
+}
+
+// LeaseExpiries returns how many caps this agent has released because
+// their lease went unrenewed.
+func (a *Agent) LeaseExpiries() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.leaseExpiries
 }
 
 // New creates an agent for a server.
@@ -103,9 +138,16 @@ func (a *Agent) Handler() rpc.Handler {
 				a.count(&a.errs)
 				return nil, err
 			}
-			return a.setCap(req.LimitWatts)
+			return a.setCap(req.LimitWatts, time.Duration(req.LeaseNanos))
 		case MethodClearCap:
 			return a.clearCap()
+		case MethodRenewLease:
+			var req RenewLeaseRequest
+			if err := wire.Unmarshal(body, &req); err != nil {
+				a.count(&a.errs)
+				return nil, err
+			}
+			return a.renewLease(time.Duration(req.LeaseNanos))
 		case MethodPing:
 			a.mu.Lock()
 			resp := &PingResponse{Healthy: true, Reads: a.reads, Caps: a.caps, Uncaps: a.uncaps, Errors: a.errs}
@@ -145,7 +187,7 @@ func (a *Agent) readPower() (wire.Message, error) {
 	}, nil
 }
 
-func (a *Agent) setCap(limitWatts float64) (wire.Message, error) {
+func (a *Agent) setCap(limitWatts float64, lease time.Duration) (wire.Message, error) {
 	if a.tel != nil {
 		start := time.Now()
 		defer func() { a.tel.capDur.Observe(time.Since(start).Seconds()) }()
@@ -159,6 +201,7 @@ func (a *Agent) setCap(limitWatts float64) (wire.Message, error) {
 		return &CapResponse{OK: false, Msg: err.Error()}, nil
 	}
 	a.count(&a.caps)
+	a.armLease(lease, power.Watts(limitWatts))
 	return &CapResponse{OK: true}, nil
 }
 
@@ -171,6 +214,69 @@ func (a *Agent) clearCap() (wire.Message, error) {
 		a.count(&a.errs)
 		return &CapResponse{OK: false, Msg: err.Error()}, nil
 	}
+	a.stopLease()
 	a.count(&a.uncaps)
 	return &CapResponse{OK: true}, nil
+}
+
+// renewLease refreshes the cap lease without changing the limit. A
+// renewal for a cap the agent no longer holds is rejected so the
+// controller learns its view is stale.
+func (a *Agent) renewLease(ttl time.Duration) (wire.Message, error) {
+	limit, capped := a.plat.PowerLimit()
+	if !capped {
+		return &CapResponse{OK: false, Msg: "no active cap"}, nil
+	}
+	a.armLease(ttl, limit)
+	if a.tel != nil {
+		a.tel.leaseRenew.Inc()
+	}
+	return &CapResponse{OK: true}, nil
+}
+
+// armLease (re)starts the lease timer. ttl <= 0 falls back to the
+// default TTL; no loop or no TTL means the cap is unguarded. Runs on the
+// loop goroutine (handler context), as simclock timers require.
+func (a *Agent) armLease(ttl time.Duration, limit power.Watts) {
+	if a.loop == nil {
+		return
+	}
+	a.stopLease()
+	if ttl <= 0 {
+		ttl = a.leaseTTL
+	}
+	if ttl <= 0 {
+		return
+	}
+	a.leaseTimer = a.loop.After(ttl, func() { a.expireLease(limit) })
+}
+
+func (a *Agent) stopLease() {
+	if a.leaseTimer != nil {
+		a.leaseTimer.Stop()
+		a.leaseTimer = nil
+	}
+}
+
+// expireLease fires when a cap outlives its lease: release the limit —
+// the fail-safe against a dead controller leaving servers throttled —
+// and surface the event.
+func (a *Agent) expireLease(limit power.Watts) {
+	a.leaseTimer = nil
+	if _, capped := a.plat.PowerLimit(); !capped {
+		return // cap already cleared through the normal path
+	}
+	if err := a.plat.ClearPowerLimit(); err != nil {
+		a.count(&a.errs)
+		return
+	}
+	a.mu.Lock()
+	a.leaseExpiries++
+	a.mu.Unlock()
+	if a.tel != nil {
+		a.tel.leaseExp.Inc()
+	}
+	if a.onLeaseExpire != nil {
+		a.onLeaseExpire(a.id, limit)
+	}
 }

@@ -1,0 +1,168 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"dynamo/internal/platform"
+	"dynamo/internal/power"
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// leaseFixture is a test agent on a sim loop with the lease fail-safe
+// armed, plus a capture of expiry callbacks.
+type leaseFixture struct {
+	a       *Agent
+	loop    *simclock.SimLoop
+	expired []power.Watts
+}
+
+func newLeaseFixture(t *testing.T, defaultTTL time.Duration) *leaseFixture {
+	t.Helper()
+	a, _ := newTestAgent(t, 0.8, platform.Options{Seed: 3})
+	lf := &leaseFixture{a: a, loop: simclock.NewSimLoop()}
+	a.EnableLease(lf.loop, defaultTTL, func(id string, limit power.Watts) {
+		lf.expired = append(lf.expired, limit)
+	})
+	return lf
+}
+
+// apply runs a cap/lease call on the loop goroutine — as the in-proc
+// transport and rpc.LoopHandler both guarantee in production, which is
+// what makes the agent's lease timer loop-confined — and checks the
+// CapResponse verdict.
+func (lf *leaseFixture) apply(t *testing.T, method string, req wire.Message, wantOK bool) {
+	t.Helper()
+	lf.loop.Post(func() {
+		var body []byte
+		if req != nil {
+			body = wire.Marshal(req)
+		}
+		m, err := lf.a.Handler()(method, body)
+		if err != nil {
+			t.Errorf("%s: %v", method, err)
+			return
+		}
+		if resp, ok := m.(*CapResponse); ok && resp.OK != wantOK {
+			t.Errorf("%s: OK=%v (%s), want %v", method, resp.OK, resp.Msg, wantOK)
+		}
+	})
+	lf.loop.RunFor(0)
+}
+
+// capped reads the agent's cap state through its own protocol.
+func (lf *leaseFixture) capped(t *testing.T) bool {
+	t.Helper()
+	var capped bool
+	lf.loop.Post(func() {
+		m, err := lf.a.Handler()(MethodReadPower, nil)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		capped = m.(*ReadPowerResponse).Capped
+	})
+	lf.loop.RunFor(0)
+	return capped
+}
+
+func TestAgentLeaseExpiresUnrenewedCap(t *testing.T) {
+	lf := newLeaseFixture(t, 0)
+	lf.apply(t, MethodSetCap, &SetCapRequest{LimitWatts: 180, LeaseNanos: uint64(10 * time.Second)}, true)
+	if !lf.capped(t) {
+		t.Fatal("cap not applied")
+	}
+	lf.loop.RunUntil(9 * time.Second)
+	if !lf.capped(t) {
+		t.Fatal("cap released before TTL")
+	}
+	lf.loop.RunUntil(11 * time.Second)
+	if lf.capped(t) {
+		t.Fatal("cap survived its lease")
+	}
+	if lf.a.LeaseExpiries() != 1 {
+		t.Errorf("expiries = %d, want 1", lf.a.LeaseExpiries())
+	}
+	if len(lf.expired) != 1 || lf.expired[0] != 180 {
+		t.Errorf("onExpire = %v, want [180]", lf.expired)
+	}
+}
+
+func TestAgentLeaseRenewalKeepsCap(t *testing.T) {
+	lf := newLeaseFixture(t, 0)
+	lf.apply(t, MethodSetCap, &SetCapRequest{LimitWatts: 180, LeaseNanos: uint64(10 * time.Second)}, true)
+	// Renew every 6 s: the cap must survive far beyond any single TTL.
+	for at := 6 * time.Second; at <= 60*time.Second; at += 6 * time.Second {
+		lf.loop.RunUntil(at)
+		lf.apply(t, MethodRenewLease, &RenewLeaseRequest{LeaseNanos: uint64(10 * time.Second)}, true)
+	}
+	if !lf.capped(t) {
+		t.Fatal("renewed cap was released")
+	}
+	if lf.a.LeaseExpiries() != 0 {
+		t.Errorf("expiries = %d, want 0", lf.a.LeaseExpiries())
+	}
+	// Stop renewing: released one TTL later.
+	lf.loop.RunUntil(75 * time.Second)
+	if lf.capped(t) {
+		t.Fatal("cap survived after renewals stopped")
+	}
+}
+
+func TestAgentRenewWithoutCapRejected(t *testing.T) {
+	lf := newLeaseFixture(t, 0)
+	lf.apply(t, MethodRenewLease, &RenewLeaseRequest{LeaseNanos: uint64(10 * time.Second)}, false)
+}
+
+func TestAgentClearCapStopsLease(t *testing.T) {
+	lf := newLeaseFixture(t, 0)
+	lf.apply(t, MethodSetCap, &SetCapRequest{LimitWatts: 180, LeaseNanos: uint64(10 * time.Second)}, true)
+	lf.apply(t, MethodClearCap, nil, true)
+	lf.loop.RunUntil(time.Minute)
+	if lf.a.LeaseExpiries() != 0 {
+		t.Error("cleared cap must not count as a lease expiry")
+	}
+	if len(lf.expired) != 0 {
+		t.Errorf("onExpire fired after a clean clear: %v", lf.expired)
+	}
+}
+
+func TestAgentDefaultTTLGuardsUnleasedCaps(t *testing.T) {
+	lf := newLeaseFixture(t, 8*time.Second)
+	// An old controller that sends no lease still gets the agent-side
+	// default TTL fail-safe.
+	lf.apply(t, MethodSetCap, &SetCapRequest{LimitWatts: 180}, true)
+	lf.loop.RunUntil(10 * time.Second)
+	if lf.capped(t) {
+		t.Fatal("default TTL did not release the unleased cap")
+	}
+	if lf.a.LeaseExpiries() != 1 {
+		t.Errorf("expiries = %d, want 1", lf.a.LeaseExpiries())
+	}
+}
+
+func TestAgentNoLeaseNoTTLCapHoldsForever(t *testing.T) {
+	lf := newLeaseFixture(t, 0)
+	lf.apply(t, MethodSetCap, &SetCapRequest{LimitWatts: 180}, true)
+	lf.loop.RunUntil(10 * time.Minute)
+	if !lf.capped(t) {
+		t.Fatal("unleased cap with no default TTL must hold")
+	}
+}
+
+func TestAgentLeaseReplacedBySecondSetCap(t *testing.T) {
+	lf := newLeaseFixture(t, 0)
+	lf.apply(t, MethodSetCap, &SetCapRequest{LimitWatts: 180, LeaseNanos: uint64(5 * time.Second)}, true)
+	lf.loop.RunUntil(4 * time.Second)
+	// A new SetCap re-arms the lease from now.
+	lf.apply(t, MethodSetCap, &SetCapRequest{LimitWatts: 170, LeaseNanos: uint64(5 * time.Second)}, true)
+	lf.loop.RunUntil(8 * time.Second)
+	if !lf.capped(t) {
+		t.Fatal("second SetCap's lease should still be live")
+	}
+	lf.loop.RunUntil(10 * time.Second)
+	if lf.capped(t) {
+		t.Fatal("cap survived the replacement lease")
+	}
+}

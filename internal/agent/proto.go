@@ -10,10 +10,11 @@ import "dynamo/internal/wire"
 
 // Method names served by the agent.
 const (
-	MethodReadPower = "Agent.ReadPower"
-	MethodSetCap    = "Agent.SetCap"
-	MethodClearCap  = "Agent.ClearCap"
-	MethodPing      = "Agent.Ping"
+	MethodReadPower  = "Agent.ReadPower"
+	MethodSetCap     = "Agent.SetCap"
+	MethodClearCap   = "Agent.ClearCap"
+	MethodRenewLease = "Agent.RenewLease"
+	MethodPing       = "Agent.Ping"
 )
 
 // ReadPowerResponse reports the server's power and identity. Identity
@@ -71,14 +72,47 @@ func (m *ReadPowerResponse) UnmarshalWire(d *wire.Decoder) error {
 // SetCapRequest asks the agent to enforce a total-power limit.
 type SetCapRequest struct {
 	LimitWatts float64
+	// LeaseNanos, when nonzero, bounds how long the cap may outlive its
+	// controller: the agent releases the limit (and alerts) unless the
+	// lease is renewed within this TTL. Zero means no lease — the cap
+	// holds until cleared (or until the agent's own default TTL, if it
+	// has one). Encoded as a trailing field so old controllers and new
+	// agents interoperate in both directions.
+	LeaseNanos uint64
 }
 
 // MarshalWire implements wire.Message.
-func (m *SetCapRequest) MarshalWire(e *wire.Encoder) { e.Float64(m.LimitWatts) }
+func (m *SetCapRequest) MarshalWire(e *wire.Encoder) {
+	e.Float64(m.LimitWatts)
+	if m.LeaseNanos > 0 {
+		e.Uvarint(m.LeaseNanos)
+	}
+}
 
 // UnmarshalWire implements wire.Message.
 func (m *SetCapRequest) UnmarshalWire(d *wire.Decoder) error {
 	m.LimitWatts = d.Float64()
+	if d.Remaining() > 0 {
+		m.LeaseNanos = d.Uvarint()
+	}
+	return d.Err()
+}
+
+// RenewLeaseRequest refreshes the TTL of an active cap lease without
+// changing the limit. The agent answers with a CapResponse: OK=false
+// means it no longer holds a cap (the lease already expired or the cap
+// was cleared), so the controller should drop its capped view of the
+// server and re-plan.
+type RenewLeaseRequest struct {
+	LeaseNanos uint64
+}
+
+// MarshalWire implements wire.Message.
+func (m *RenewLeaseRequest) MarshalWire(e *wire.Encoder) { e.Uvarint(m.LeaseNanos) }
+
+// UnmarshalWire implements wire.Message.
+func (m *RenewLeaseRequest) UnmarshalWire(d *wire.Decoder) error {
+	m.LeaseNanos = d.Uvarint()
 	return d.Err()
 }
 

@@ -7,7 +7,11 @@ import (
 	"time"
 
 	"dynamo/internal/agent"
+	"dynamo/internal/faults"
+	"dynamo/internal/platform"
 	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/server"
 	"dynamo/internal/simclock"
 	"dynamo/internal/wire"
 )
@@ -91,6 +95,76 @@ func runControlCycle(loop *simclock.SimLoop, leaves []benchLeaf, until time.Dura
 // the pre-phase execution model) versus cohort (observe+decide fanned over
 // GOMAXPROCS workers). The acceptance bar for the phased refactor is
 // cohort ≥ 2x inline at 10 k servers on a multicore machine.
+// buildLeafRPCBench assembles one leaf pulling 100 agents over the in-proc
+// RPC network — the full delivery path the DryRun cycle bench bypasses —
+// optionally through a fault injector dropping a slice of pulls so every
+// cycle exercises timeout detection, backoff scheduling, and retries.
+func buildLeafRPCBench(b *testing.B, dropP float64) (*simclock.SimLoop, *Leaf) {
+	b.Helper()
+	const perLeaf = 100
+	loop := simclock.NewSimLoop()
+	loop.SetStepLimit(0)
+	net := rpc.NewNetwork(loop, 2*time.Millisecond, 99)
+	dial := net.Dial
+	if dropP > 0 {
+		inj := faults.New(loop, 17, nil)
+		inj.Add(faults.Rule{Peer: "agent/*", Method: agent.MethodReadPower, DropP: dropP})
+		dial = inj.WrapDial(net.Dial)
+	}
+	var refs []AgentRef
+	for i := 0; i < perLeaf; i++ {
+		id := fmt.Sprintf("bench-%03d", i)
+		srv := server.New(server.Config{
+			ID: id, Service: "web",
+			Model:  server.MustModel("haswell2015"),
+			Source: server.LoadFunc(func(time.Duration) float64 { return 0.8 }),
+		})
+		srv.Tick(0)
+		ag := agent.New(id, "web", "haswell2015", platform.NewMSR(srv, platform.Options{Seed: int64(i + 1)}))
+		net.Register(AgentAddr(id), ag.Handler())
+		refs = append(refs, AgentRef{ServerID: id, Service: "web", Generation: "haswell2015", Client: dial(AgentAddr(id))})
+	}
+	leaf := NewLeaf(loop, LeafConfig{
+		DeviceID:    "rpp-bench",
+		Limit:       power.Watts(perLeaf * 260), // below fleet draw: full capping plan per cycle
+		PullTimeout: 200 * time.Millisecond,
+		Retry:       RetryConfig{MaxRetries: 2, Backoff: 20 * time.Millisecond, JitterFrac: 0.2, Seed: 7},
+	}, refs)
+	leaf.Start()
+	return loop, leaf
+}
+
+// BenchmarkLeafCycleWithRetries measures a complete pull→decide→act cycle
+// through the RPC layer, clean versus a 10% drop rate on pulls: the faulty
+// case bounds the overhead of per-call timeout arming, retry bookkeeping,
+// and deterministic backoff draws under sustained packet loss.
+func BenchmarkLeafCycleWithRetries(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		dropP float64
+	}{{"clean", 0}, {"drop10pct", 0.10}} {
+		b.Run(bc.name, func(b *testing.B) {
+			loop, leaf := buildLeafRPCBench(b, bc.dropP)
+			// Warm one cycle (poll ticks every 3 s of virtual time).
+			loop.RunUntil(4 * time.Second)
+			start := leaf.Cycles()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loop.RunUntil(time.Duration(i+2)*3*time.Second + time.Second)
+			}
+			b.StopTimer()
+			if got := leaf.Cycles() - start; got < uint64(b.N) {
+				b.Fatalf("ran %d cycles, want >= %d", got, b.N)
+			}
+			if bc.dropP > 0 && leaf.Retries() == 0 {
+				b.Fatal("drop schedule produced no retries; bench is not exercising the retry path")
+			}
+			b.ReportMetric(float64(leaf.Retries())/float64(b.N), "retries/cycle")
+		})
+	}
+}
+
 func BenchmarkControlCycle(b *testing.B) {
 	for _, size := range []int{2000, 10000} {
 		for _, mode := range []string{"inline", "cohort"} {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
@@ -56,6 +57,25 @@ type HierarchyConfig struct {
 	// state store each act phase. Checkpointing rides the serial act
 	// phase, so determinism is unaffected.
 	StateStore *statestore.Store
+	// Dial overrides how controllers dial their peers and agents (the
+	// fault-injection layer wraps the network here). nil dials the
+	// in-proc network directly.
+	Dial func(addr string) rpc.Client
+	// Retry configures bounded RPC retries for every controller's
+	// outbound calls. Zero value disables (single attempt, legacy).
+	Retry RetryConfig
+	// QuarantineThreshold trips a leaf's per-agent circuit breaker after
+	// this many consecutive failed pulls; estimation covers the agent
+	// until a half-open probe succeeds. 0 disables.
+	QuarantineThreshold int
+	// QuarantineProbeEvery sets how many cycles a quarantined agent sits
+	// out between half-open probes (default 2 when quarantine is on).
+	QuarantineProbeEvery int
+	// CapLeaseTTL, when nonzero, attaches a lease to every cap a leaf
+	// sends: the leaf renews leases on capped agents each cycle, and an
+	// agent whose lease goes unrenewed releases its cap (fail-safe
+	// against controller death).
+	CapLeaseTTL time.Duration
 }
 
 // Hierarchy is a built controller tree mirroring the power topology
@@ -92,6 +112,11 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 	}
 	_ = leafClass
 
+	dial := cfg.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+
 	h := &Hierarchy{
 		Leaves: map[topology.NodeID]*Leaf{},
 		Uppers: map[topology.NodeID]*Upper{},
@@ -110,7 +135,7 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 				ServerID:   string(srv.ID),
 				Service:    srv.Service,
 				Generation: srv.Generation,
-				Client:     net.Dial(AgentAddr(string(srv.ID))),
+				Client:     dial(AgentAddr(string(srv.ID))),
 			})
 		}
 		node.Walk(func(n *topology.Node) {
@@ -122,7 +147,7 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 					ServerID:   string(n.ID),
 					Service:    "network",
 					Generation: "torswitch",
-					Client:     net.Dial(AgentAddr(string(n.ID))),
+					Client:     dial(AgentAddr(string(n.ID))),
 				})
 			}
 		})
@@ -146,6 +171,11 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 			Alerts:        cfg.Alerts,
 			Telemetry:     cfg.Telemetry,
 			Scheduler:     h.Sched,
+
+			Retry:                cfg.Retry,
+			QuarantineThreshold:  cfg.QuarantineThreshold,
+			QuarantineProbeEvery: cfg.QuarantineProbeEvery,
+			CapLeaseTTL:          cfg.CapLeaseTTL,
 		}
 		if cfg.StateStore != nil {
 			lcfg.Checkpoint = cfg.StateStore.NewWriter(string(node.ID), string(node.ID))
@@ -172,7 +202,7 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 				}
 				children = append(children, ChildRef{
 					ID:     string(c.ID),
-					Client: net.Dial(CtrlAddr(string(c.ID))),
+					Client: dial(CtrlAddr(string(c.ID))),
 					Quota:  c.Quota,
 				})
 			}
@@ -185,6 +215,7 @@ func BuildHierarchy(loop simclock.Loop, net *rpc.Network, topo *topology.Topolog
 				Alerts:    cfg.Alerts,
 				Telemetry: cfg.Telemetry,
 				Scheduler: h.Sched,
+				Retry:     cfg.Retry,
 			}
 			if cfg.StateStore != nil {
 				ucfg.Checkpoint = cfg.StateStore.NewWriter(string(node.ID), string(node.ID))

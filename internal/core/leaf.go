@@ -74,6 +74,22 @@ type LeafConfig struct {
 	// every act phase, so a backup can adopt it from the replicated state
 	// store after a failure. nil disables checkpointing.
 	Checkpoint *statestore.Writer
+	// Retry bounds per-call RPC retries toward agents (pulls, caps,
+	// uncaps, lease renewals). Zero disables retries.
+	Retry RetryConfig
+	// QuarantineThreshold is the per-agent circuit breaker: after this
+	// many consecutive failed pulls the agent is quarantined — excluded
+	// from pulls and actuation, covered by failure estimation — until a
+	// half-open probe succeeds. 0 disables quarantining.
+	QuarantineThreshold int
+	// QuarantineProbeEvery is the cadence, in cycles, of half-open probe
+	// pulls to quarantined agents. Default 2.
+	QuarantineProbeEvery int
+	// CapLeaseTTL, when positive, stamps every SetCap with a lease of
+	// this TTL and renews the lease of every capped agent each act phase,
+	// so caps self-release on agents this controller can no longer reach
+	// (and on all agents if this controller dies).
+	CapLeaseTTL time.Duration
 }
 
 func (c *LeafConfig) fillDefaults() {
@@ -97,6 +113,9 @@ func (c *LeafConfig) fillDefaults() {
 		// (paper §III-C1), so the cross-check must tolerate normal power
 		// movement over that staleness window.
 		c.ValidationTolerance = 0.20
+	}
+	if c.QuarantineThreshold > 0 && c.QuarantineProbeEvery <= 0 {
+		c.QuarantineProbeEvery = 2
 	}
 }
 
@@ -124,6 +143,16 @@ type agentState struct {
 	capSent   power.Watts
 	capped    bool
 
+	// Circuit-breaker state (quarantine). consecFails counts consecutive
+	// failed pulls; at the configured threshold the agent is quarantined:
+	// excluded from pulls (except periodic half-open probes) and from
+	// actuation, with estimation covering its draw. A successful pull
+	// re-admits it.
+	consecFails int
+	quarantined bool
+	quarCycles  int
+	probing     bool // this cycle issues a half-open probe
+
 	// cycle-local state. raw holds the undecoded pull response; decoding
 	// happens in the observe phase so the RPC completion callback does no
 	// per-agent work beyond storing bytes.
@@ -147,6 +176,19 @@ type Leaf struct {
 	cycleSeq uint64
 	inflight int
 	cycles   uint64
+
+	// gen counts controller lifetimes: Stop bumps it, and every RPC
+	// completion captured under an older generation becomes a no-op, so a
+	// stopped (crashed/fenced) controller's in-flight cycle cannot
+	// actuate caps or mutate agent state afterwards. cycleGen records the
+	// generation the open cycle was started under.
+	gen      uint64
+	cycleGen uint64
+
+	// retryPol is the precomputed rpc retry policy (zero when retries are
+	// off); retries counts re-attempts across all downstream calls.
+	retryPol rpc.RetryPolicy
+	retries  uint64
 
 	contract    power.Watts // 0 = none
 	lastAgg     power.Watts
@@ -212,6 +254,11 @@ type leafPlan struct {
 	sendCaps     bool
 	sendUncaps   bool
 	alerts       []pendingAlert
+
+	// circuit-breaker outcomes of this cycle
+	quarantined    int // agents in quarantine after this cycle
+	quarantinedNew int // breakers tripped this cycle
+	readmitted     int // agents re-admitted this cycle
 }
 
 func (p *leafPlan) alert(level AlertLevel, format string, args ...interface{}) {
@@ -247,8 +294,45 @@ func NewLeaf(loop simclock.Loop, cfg LeafConfig, agents []AgentRef) *Leaf {
 	if cfg.UsePID {
 		l.pid = newPIDState(cfg.PID)
 	}
+	if l.cfg.Retry.Enabled() {
+		l.retryPol = l.cfg.Retry.policy(l.cfg.PollInterval)
+	}
 	l.ticker = simclock.NewTicker(loop, cfg.PollInterval, l.pollCycle)
 	return l
+}
+
+// call issues one downstream RPC under the configured retry policy; with
+// retries disabled it is a plain single-attempt Call. Always invoked on
+// the loop goroutine (poll broadcast or act phase).
+func (l *Leaf) call(st *agentState, method string, req wire.Message, done func([]byte, error)) {
+	if !l.retryPol.Enabled() {
+		st.client.Call(method, req, l.cfg.PullTimeout, done)
+		return
+	}
+	pol := l.retryPol
+	pol.OnRetry = func(attempt int, err error) {
+		l.retries++
+		if l.tel != nil {
+			l.tel.rpcRetry(l.cycles, l.loop.Now(), st.id, method, attempt, err)
+		}
+	}
+	rpc.CallRetry(l.loop, st.client, method, st.id, req, l.cfg.PullTimeout, pol, done)
+}
+
+// Retries returns how many downstream RPC re-attempts this controller
+// has issued.
+func (l *Leaf) Retries() uint64 { return l.retries }
+
+// QuarantinedCount returns how many agents are currently quarantined by
+// the circuit breaker.
+func (l *Leaf) QuarantinedCount() int {
+	n := 0
+	for _, a := range l.agents {
+		if a.quarantined {
+			n++
+		}
+	}
+	return n
 }
 
 // DeviceID returns the protected device's identifier.
@@ -258,7 +342,15 @@ func (l *Leaf) DeviceID() string { return l.cfg.DeviceID }
 func (l *Leaf) Start() { l.ticker.Start() }
 
 // Stop halts the pull cycle (a crashed controller, for failover tests).
-func (l *Leaf) Stop() { l.ticker.Stop() }
+// Bumping the generation invalidates this cycle's in-flight RPC
+// completions: a SetCap ack or retry landing after Stop must not mutate
+// controller state or actuate anything — the act phase of an already
+// collected cycle still journals and checkpoints (bookkeeping), but
+// sends nothing.
+func (l *Leaf) Stop() {
+	l.gen++
+	l.ticker.Stop()
+}
 
 // Running reports whether the controller is polling.
 func (l *Leaf) Running() bool { return l.ticker.Active() }
@@ -402,15 +494,15 @@ func (l *Leaf) pollCycle() {
 	l.cycleSeq++
 	seq := l.cycleSeq
 	l.cycleOpen = true
+	l.cycleGen = l.gen
 	if l.tel != nil {
 		l.cycleStartAt = l.loop.Now()
 		l.tel.cycleStart(l.cycles+1, l.cycleStartAt)
 	}
-	l.inflight = len(l.order)
-	if l.inflight == 0 {
-		l.complete()
-		return
-	}
+	// Quarantined agents are skipped (estimation covers them) except on
+	// their probe cycles, where a single half-open pull tests whether
+	// they can be re-admitted.
+	l.inflight = 0
 	for _, id := range l.order {
 		st := l.agents[id]
 		st.rawValid = false
@@ -418,7 +510,33 @@ func (l *Leaf) pollCycle() {
 		st.ok = false
 		st.estimated = false
 		st.reading = 0
-		st.client.Call(agent.MethodReadPower, rpc.Empty, l.cfg.PullTimeout,
+		st.probing = false
+		if st.quarantined {
+			st.quarCycles++
+			if st.quarCycles%l.cfg.QuarantineProbeEvery != 0 {
+				continue
+			}
+			st.probing = true
+		}
+		l.inflight++
+	}
+	if l.inflight == 0 {
+		l.complete()
+		return
+	}
+	for _, id := range l.order {
+		st := l.agents[id]
+		if st.quarantined && !st.probing {
+			continue
+		}
+		if st.probing {
+			// Half-open probe: one unretried attempt — a still-dead agent
+			// must not consume the retry budget.
+			st.client.Call(agent.MethodReadPower, rpc.Empty, l.cfg.PullTimeout,
+				func(resp []byte, err error) { l.onPull(seq, st, resp, err) })
+			continue
+		}
+		l.call(st, agent.MethodReadPower, rpc.Empty,
 			func(resp []byte, err error) { l.onPull(seq, st, resp, err) })
 	}
 }
@@ -491,21 +609,62 @@ func (l *Leaf) runObserveDecide(now time.Duration) {
 		}
 	}
 
+	// Circuit-breaker accounting: consecutive failed pulls trip a
+	// per-agent quarantine; any successful pull (including a half-open
+	// probe) re-admits the agent.
+	if l.cfg.QuarantineThreshold > 0 {
+		for _, id := range l.order {
+			st := l.agents[id]
+			if st.ok {
+				st.consecFails = 0
+				if st.quarantined {
+					st.quarantined = false
+					st.quarCycles = 0
+					p.readmitted++
+					p.alert(AlertInfo, "agent %s re-admitted after successful probe", st.id)
+				}
+				continue
+			}
+			if st.quarantined {
+				continue // already isolated; estimation covers it
+			}
+			st.consecFails++
+			if st.consecFails >= l.cfg.QuarantineThreshold {
+				st.quarantined = true
+				st.quarCycles = 0
+				st.consecFails = 0
+				p.quarantinedNew++
+				p.alert(AlertWarning,
+					"agent %s quarantined after %d consecutive failed pulls; estimating until a probe succeeds",
+					st.id, l.cfg.QuarantineThreshold)
+			}
+		}
+	}
+
 	// Failure estimation (paper §III-C1): failed pulls are estimated from
 	// same-service responders; servers never seen get their last known
-	// value (or zero).
+	// value (or zero). Quarantined agents are expected absences — their
+	// draw is estimated like any failure, but they don't count toward the
+	// invalid-aggregation fraction: the breaker already bounded the
+	// unknown, and flooding every cycle with invalid alerts for a known
+	// outage would hide real incidents (no invalid-cycle flood).
 	var serviceSum = map[string]float64{}
 	var serviceCnt = map[string]int{}
 	failures := 0
+	quarantined := 0
 	for _, id := range l.order {
 		st := l.agents[id]
-		if st.ok {
+		switch {
+		case st.ok:
 			serviceSum[st.service] += st.reading
 			serviceCnt[st.service]++
-		} else {
+		case st.quarantined:
+			quarantined++
+		default:
 			failures++
 		}
 	}
+	p.quarantined = quarantined
 	total := float64(l.cfg.NonServerDraw)
 	for k := range l.lastService {
 		delete(l.lastService, k)
@@ -589,12 +748,22 @@ func (l *Leaf) runAct(now time.Duration) {
 		l.cycleOpen = false
 		l.applyPendingReconfigs()
 	}()
+	// A controller stopped mid-cycle (crash, fencing) still finishes the
+	// cycle's bookkeeping, but must not actuate: no caps, uncaps, or
+	// lease renewals leave a dead controller.
+	stopped := l.cycleGen != l.gen
+	if l.tel != nil && (p.quarantinedNew > 0 || p.readmitted > 0 || p.quarantined > 0) {
+		l.tel.quarantine(p.quarantinedNew, p.readmitted, p.quarantined)
+	}
 
 	if p.invalid {
 		if l.tel != nil {
 			l.tel.invalidCycle(l.cycles, l.cycleStartAt, now, p.failures, len(l.order))
 		}
 		l.emitAlerts(now, p)
+		if !stopped {
+			l.renewLeases(now, nil)
+		}
 		l.journal.Add(p.rec)
 		l.checkpoint(now, p.rec)
 		return
@@ -609,18 +778,75 @@ func (l *Leaf) runAct(now time.Duration) {
 		l.tel.capPlan(l.cycles, now, p.planned, p.achieved, p.shortfall, l.cfg.DryRun)
 	}
 	l.emitAlerts(now, p)
-	if p.sendCaps {
-		l.capEvents++
-		l.sendCaps(p.caps)
-	}
-	if p.sendUncaps {
-		l.uncapEvents++
-		l.sendUncaps()
+	if !stopped {
+		if p.sendCaps {
+			l.capEvents++
+			l.sendCaps(p.caps)
+		}
+		if p.sendUncaps {
+			l.uncapEvents++
+			l.sendUncaps()
+		}
+		if !p.sendUncaps {
+			l.renewLeases(now, p.caps)
+		}
 	}
 	l.journal.Add(p.rec)
 	l.checkpoint(now, p.rec)
 	if l.tel != nil {
 		l.tel.cycleEnd(l.cycles, l.cycleStartAt, now, p.agg, p.effLimit, p.capCount, p.action)
+	}
+}
+
+// renewLeases refreshes the cap lease of every capped, reachable agent
+// that was not just (re-)capped this cycle — a SetCap carries its own
+// lease. Act-phase: RPC sends on the loop goroutine. Runs in invalid
+// cycles too: an aggregation the controller cannot trust is no reason to
+// let still-valid caps lapse.
+func (l *Leaf) renewLeases(now time.Duration, justCapped []PlannedCap) {
+	if l.cfg.CapLeaseTTL <= 0 {
+		return
+	}
+	var skip map[string]bool
+	if len(justCapped) > 0 {
+		skip = make(map[string]bool, len(justCapped))
+		for _, pc := range justCapped {
+			skip[pc.ID] = true
+		}
+	}
+	gen := l.gen
+	req := &agent.RenewLeaseRequest{LeaseNanos: uint64(l.cfg.CapLeaseTTL)}
+	for _, id := range l.order {
+		st := l.agents[id]
+		if !st.capped || st.quarantined || skip[id] {
+			continue
+		}
+		l.call(st, agent.MethodRenewLease, req, func(resp []byte, err error) {
+			if l.gen != gen {
+				return
+			}
+			var ack agent.CapResponse
+			if derr := rpc.Decode(resp, err, &ack); derr != nil {
+				if l.tel != nil {
+					l.tel.leaseRenewFailed(l.cycles, l.loop.Now(), st.id, derr)
+				}
+				return
+			}
+			if !ack.OK {
+				// The agent no longer holds the cap (its lease expired
+				// while we couldn't reach it): adopt its view so the next
+				// cycle re-plans from truth.
+				st.capped = false
+				st.capSent = 0
+				if l.tel != nil {
+					l.tel.leaseRenewFailed(l.cycles, l.loop.Now(), st.id, nil)
+				}
+				return
+			}
+			if l.tel != nil {
+				l.tel.leaseRenewed()
+			}
+		})
 	}
 }
 
@@ -747,12 +973,23 @@ func (l *Leaf) planUncap(p *leafPlan) {
 }
 
 // sendCaps issues the cap commands (act-phase: RPC sends on the loop).
+// Completions are gated on the controller generation so a cap ack (or a
+// late retry) landing after Stop cannot mutate state. Quarantined agents
+// are skipped: a command to an unreachable agent would only burn budget,
+// and estimation already prices their draw in.
 func (l *Leaf) sendCaps(caps []PlannedCap) {
+	gen := l.gen
 	for _, pc := range caps {
 		st := l.agents[pc.ID]
-		req := &agent.SetCapRequest{LimitWatts: float64(pc.Cap)}
+		if st.quarantined {
+			continue
+		}
+		req := &agent.SetCapRequest{LimitWatts: float64(pc.Cap), LeaseNanos: uint64(l.cfg.CapLeaseTTL)}
 		capVal := pc.Cap
-		st.client.Call(agent.MethodSetCap, req, l.cfg.PullTimeout, func(resp []byte, err error) {
+		l.call(st, agent.MethodSetCap, req, func(resp []byte, err error) {
+			if l.gen != gen {
+				return
+			}
 			var ack agent.CapResponse
 			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
 				if l.tel != nil {
@@ -768,14 +1005,20 @@ func (l *Leaf) sendCaps(caps []PlannedCap) {
 	}
 }
 
-// sendUncaps issues the uncap commands (act-phase).
+// sendUncaps issues the uncap commands (act-phase). Quarantined agents
+// are skipped: their caps release through lease expiry, and the capped
+// view corrects itself on the next successful pull.
 func (l *Leaf) sendUncaps() {
+	gen := l.gen
 	for _, id := range l.order {
 		st := l.agents[id]
-		if !st.capped {
+		if !st.capped || st.quarantined {
 			continue
 		}
-		st.client.Call(agent.MethodClearCap, rpc.Empty, l.cfg.PullTimeout, func(resp []byte, err error) {
+		l.call(st, agent.MethodClearCap, rpc.Empty, func(resp []byte, err error) {
+			if l.gen != gen {
+				return
+			}
 			var ack agent.CapResponse
 			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
 				if l.tel != nil {

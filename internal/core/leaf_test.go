@@ -20,6 +20,7 @@ type fixture struct {
 	loop    *simclock.SimLoop
 	net     *rpc.Network
 	servers map[string]*server.Server
+	agents  map[string]*agent.Agent
 	order   []string
 	alerts  []Alert
 	ticker  *simclock.Ticker
@@ -34,6 +35,7 @@ func newFixture(t *testing.T) *fixture {
 		loop:    loop,
 		net:     rpc.NewNetwork(loop, 2*time.Millisecond, 99),
 		servers: map[string]*server.Server{},
+		agents:  map[string]*agent.Agent{},
 	}
 	f.ticker = simclock.NewTicker(loop, time.Second, func() {
 		for _, id := range f.order {
@@ -59,6 +61,7 @@ func (f *fixture) addServer(id, service string, source server.LoadSource) *serve
 	f.order = append(f.order, id)
 	plat := platform.NewMSR(srv, platform.Options{Seed: int64(len(f.order))})
 	ag := agent.New(id, service, "haswell2015", plat)
+	f.agents[id] = ag
 	f.net.Register(AgentAddr(id), ag.Handler())
 	return srv
 }

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dynamo/internal/agent"
+	"dynamo/internal/faults"
+	"dynamo/internal/power"
+	"dynamo/internal/rpc"
+	"dynamo/internal/wire"
+)
+
+// retryCfg is a small bounded-retry policy that fits inside the default
+// 3 s poll interval (pull timeout 2 s, so one retry with short backoff).
+func retryCfg() RetryConfig {
+	return RetryConfig{MaxRetries: 2, Backoff: 20 * time.Millisecond, JitterFrac: 0.2, Seed: 7}
+}
+
+// TestLeafRetriesRecoverFlakyAgent drops half of one agent's pulls via the
+// fault injector; bounded retries keep the leaf's aggregation valid and
+// the retry counter moving.
+func TestLeafRetriesRecoverFlakyAgent(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(8, "web", 0.6)
+	inj := faults.New(f.loop, 11, nil)
+	inj.Add(faults.Rule{Peer: AgentAddr("web-002"), Method: "*", DropP: 0.5})
+	for i := range refs {
+		refs[i].Client = inj.WrapClient(AgentAddr(refs[i].ServerID), refs[i].Client)
+	}
+	leaf := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: power.KW(50), Alerts: f.alertSink(),
+		PullTimeout: 200 * time.Millisecond,
+		Retry:       retryCfg(),
+	}, refs)
+	leaf.Start()
+	f.loop.RunUntil(60 * time.Second)
+	if leaf.Retries() == 0 {
+		t.Error("expected retries against the flaky agent")
+	}
+	if _, valid := leaf.LastAggregate(); !valid {
+		t.Error("aggregation should stay valid with one flaky agent")
+	}
+	dropped, _, _ := inj.Counts()
+	if dropped == 0 {
+		t.Error("injector dropped nothing; test exercised no faults")
+	}
+}
+
+// TestLeafQuarantineAndReadmit partitions one agent until the breaker
+// trips, then heals the partition and waits for a half-open probe to
+// re-admit it.
+func TestLeafQuarantineAndReadmit(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(10, "web", 0.7)
+	f.net.SetPartitioned(AgentAddr("web-003"), true)
+	leaf := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: power.KW(50), Alerts: f.alertSink(),
+		QuarantineThreshold: 2, QuarantineProbeEvery: 2,
+	}, refs)
+	leaf.Start()
+	f.loop.RunUntil(15 * time.Second)
+	if got := leaf.QuarantinedCount(); got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	if _, valid := leaf.LastAggregate(); !valid {
+		t.Error("estimation should keep aggregation valid with one quarantined agent")
+	}
+	sawTrip := false
+	for _, a := range f.alerts {
+		if a.Level == AlertWarning && strings.Contains(a.Msg, "quarantined") {
+			sawTrip = true
+		}
+	}
+	if !sawTrip {
+		t.Error("expected a quarantine warning alert")
+	}
+	// While quarantined, probes are spaced: the agent must not be pulled
+	// every cycle (no invalid-cycle or failure-counting flood).
+	f.net.SetPartitioned(AgentAddr("web-003"), false)
+	f.loop.RunUntil(45 * time.Second)
+	if got := leaf.QuarantinedCount(); got != 0 {
+		t.Fatalf("agent not re-admitted after heal: quarantined = %d", got)
+	}
+	sawReadmit := false
+	for _, a := range f.alerts {
+		if a.Level == AlertInfo && strings.Contains(a.Msg, "re-admitted") {
+			sawReadmit = true
+		}
+	}
+	if !sawReadmit {
+		t.Error("expected a re-admission info alert")
+	}
+}
+
+// TestLeafQuarantineExcludedFromFailureFraction: with 3/10 agents
+// quarantined, cycles must stay valid — quarantined agents are estimated,
+// not counted toward the >20% invalid-cycle threshold.
+func TestLeafQuarantineExcludedFromFailureFraction(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(10, "web", 0.7)
+	for _, id := range []string{"web-001", "web-004", "web-007"} {
+		f.net.SetPartitioned(AgentAddr(id), true)
+	}
+	leaf := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: power.KW(50), Alerts: f.alertSink(),
+		QuarantineThreshold: 2,
+	}, refs)
+	leaf.Start()
+	f.loop.RunUntil(30 * time.Second)
+	if got := leaf.QuarantinedCount(); got != 3 {
+		t.Fatalf("quarantined = %d, want 3", got)
+	}
+	if _, valid := leaf.LastAggregate(); !valid {
+		t.Error("quarantined agents must not flood the failure fraction: cycle should be valid")
+	}
+	// Invalid-cycle criticals are expected while the breakers trip in
+	// (the first cycles legitimately see 30% failures); once all three
+	// agents are quarantined the flood must stop.
+	for _, a := range f.alerts {
+		if a.Level == AlertCritical && a.Time > 15*time.Second {
+			t.Errorf("critical alert after quarantine settled: %v", a)
+		}
+	}
+}
+
+// TestLeafCapLeaseRenewalAndExpiry: while the leaf runs, lease renewals
+// keep caps alive well past the TTL; once the leaf stops renewing, agents
+// release their caps on their own.
+func TestLeafCapLeaseRenewalAndExpiry(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(10, "web", 0.9)
+	for _, id := range f.order {
+		f.agents[id].EnableLease(f.loop, 0, nil)
+	}
+	const ttl = 7 * time.Second
+	leaf := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: 2500, Alerts: f.alertSink(),
+		CapLeaseTTL: ttl,
+	}, refs)
+	leaf.Start()
+	f.loop.RunUntil(60 * time.Second) // many TTLs worth of renewed cycles
+	if leaf.CappedCount() == 0 {
+		t.Fatal("expected capped servers under overload")
+	}
+	for _, id := range f.order {
+		if n := f.agents[id].LeaseExpiries(); n != 0 {
+			t.Fatalf("agent %s lease expired %d times while leaf was renewing", id, n)
+		}
+	}
+	// Kill the controller: no more renewals. Caps must clear within TTL.
+	leaf.Stop()
+	f.loop.RunUntil(60*time.Second + ttl + 2*time.Second)
+	for _, id := range f.order {
+		if _, capped := f.servers[id].Limit(); capped {
+			t.Errorf("server %s still capped after lease TTL with dead controller", id)
+		}
+	}
+	var expiries uint64
+	for _, id := range f.order {
+		expiries += f.agents[id].LeaseExpiries()
+	}
+	if expiries == 0 {
+		t.Error("expected lease expiries after controller death")
+	}
+}
+
+// TestLeafStopMidCycleSendsNothing stops the leaf while its first cycle's
+// pulls are still in flight; the completions must not actuate caps.
+func TestLeafStopMidCycleSendsNothing(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(10, "web", 0.9)
+	leaf := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: 100, Alerts: f.alertSink(), // grossly over: caps planned immediately
+	}, refs)
+	leaf.Start()
+	// First poll fires at 3 s; pulls ride 2 ms of network latency, so at
+	// exactly 3 s the cycle is open with every pull in flight.
+	f.loop.RunUntil(3 * time.Second)
+	leaf.Stop()
+	f.loop.RunUntil(30 * time.Second)
+	for _, id := range f.order {
+		if _, capped := f.servers[id].Limit(); capped {
+			t.Errorf("server %s capped by a cycle completing after Stop", id)
+		}
+	}
+	if leaf.CapEvents() != 0 {
+		t.Errorf("capEvents = %d after mid-cycle Stop", leaf.CapEvents())
+	}
+}
+
+// TestWatchdogRestartStormRateLimited fails many agents at once; the
+// per-sweep cap spreads restarts over sweeps instead of restarting the
+// whole fleet in one shot, and every agent is still eventually healed.
+func TestWatchdogRestartStormRateLimited(t *testing.T) {
+	f := newFixture(t)
+	f.addFleet(8, "web", 0.5)
+	restarted := map[string]int{}
+	var maxPerSweep int
+	sweepCounts := map[time.Duration]int{}
+	w := NewWatchdog(f.loop, f.net, f.order, WatchdogConfig{
+		Interval: 5 * time.Second, FailThreshold: 2,
+		MaxRestartsPerSweep: 2,
+		Restart: func(id string) {
+			restarted[id]++
+			sweepCounts[f.loop.Now()]++
+			if sweepCounts[f.loop.Now()] > maxPerSweep {
+				maxPerSweep = sweepCounts[f.loop.Now()]
+			}
+			f.net.SetPartitioned(AgentAddr(id), false)
+		},
+		Alerts: f.alertSink(),
+	})
+	w.Start()
+	for _, id := range f.order {
+		f.net.SetPartitioned(AgentAddr(id), true)
+	}
+	f.loop.RunUntil(2 * time.Minute)
+	if maxPerSweep > 2 {
+		t.Errorf("restart storm: %d restarts in one sweep, cap is 2", maxPerSweep)
+	}
+	if w.Suppressed() == 0 {
+		t.Error("expected suppressed restarts under the storm limiter")
+	}
+	for _, id := range f.order {
+		if restarted[id] == 0 {
+			t.Errorf("agent %s never restarted", id)
+		}
+	}
+}
+
+// TestWatchdogRestartCooldown keeps one agent permanently broken (the
+// restart does not heal it); the cooldown spaces successive restarts.
+func TestWatchdogRestartCooldown(t *testing.T) {
+	f := newFixture(t)
+	f.addFleet(3, "web", 0.5)
+	var restartTimes []time.Duration
+	const cooldown = 40 * time.Second
+	w := NewWatchdog(f.loop, f.net, f.order, WatchdogConfig{
+		Interval: 5 * time.Second, FailThreshold: 2,
+		RestartCooldown: cooldown,
+		// Restart never heals: the agent stays partitioned.
+		Restart: func(id string) { restartTimes = append(restartTimes, f.loop.Now()) },
+	})
+	w.Start()
+	f.net.SetPartitioned(AgentAddr("web-001"), true)
+	f.loop.RunUntil(3 * time.Minute)
+	if len(restartTimes) < 2 {
+		t.Fatalf("expected repeated restarts of a permanently broken agent, got %d", len(restartTimes))
+	}
+	for i := 1; i < len(restartTimes); i++ {
+		if gap := restartTimes[i] - restartTimes[i-1]; gap < cooldown {
+			t.Errorf("restarts %v apart, cooldown is %v", gap, cooldown)
+		}
+	}
+	if w.Suppressed() == 0 {
+		t.Error("cooldown should have suppressed some restart decisions")
+	}
+}
+
+// zombieAgent answers pings over a healthy transport but reports
+// Healthy=false until healed — the sick-process (vs dead-network) case.
+type zombieAgent struct{ healthy bool }
+
+func newZombieAgent() *zombieAgent { return &zombieAgent{} }
+
+func (z *zombieAgent) heal() { z.healthy = true }
+
+func (z *zombieAgent) handler() rpc.Handler {
+	return func(method string, body []byte) (wire.Message, error) {
+		return &agent.PingResponse{Healthy: z.healthy}, nil
+	}
+}
+
+// TestWatchdogHealthyFalseVsTimeout covers both unhealthy modes side by
+// side: web-000 times out (partitioned), the zombie answers Healthy=false.
+// Both must be restarted; the healthy agent must not.
+func TestWatchdogHealthyFalseVsTimeout(t *testing.T) {
+	f := newFixture(t)
+	f.addFleet(2, "web", 0.5)
+	zombie := newZombieAgent()
+	f.net.Register(AgentAddr("zombie"), zombie.handler())
+	ids := append([]string{}, f.order...)
+	ids = append(ids, "zombie")
+	restarted := map[string]int{}
+	w := NewWatchdog(f.loop, f.net, ids, WatchdogConfig{
+		Interval: 5 * time.Second, FailThreshold: 2,
+		Restart: func(id string) {
+			restarted[id]++
+			f.net.SetPartitioned(AgentAddr(id), false)
+			zombie.heal()
+		},
+		Alerts: f.alertSink(),
+	})
+	w.Start()
+	f.net.SetPartitioned(AgentAddr("web-000"), true)
+	f.loop.RunUntil(time.Minute)
+	if restarted["web-000"] == 0 {
+		t.Error("timed-out agent not restarted")
+	}
+	if restarted["zombie"] == 0 {
+		t.Error("Healthy=false agent not restarted")
+	}
+	if restarted["web-001"] != 0 {
+		t.Error("healthy agent restarted")
+	}
+}
+
+// TestWatchdogWithQuarantinedAgent runs the watchdog and a quarantining
+// leaf against the same broken agent: the watchdog's restart heals it, and
+// the leaf's half-open probe then re-admits it — the two mechanisms
+// compose instead of fighting.
+func TestWatchdogWithQuarantinedAgent(t *testing.T) {
+	f := newFixture(t)
+	refs := f.addFleet(6, "web", 0.7)
+	leaf := NewLeaf(f.loop, LeafConfig{
+		DeviceID: "rpp1", Limit: power.KW(50), Alerts: f.alertSink(),
+		QuarantineThreshold: 2, QuarantineProbeEvery: 2,
+	}, refs)
+	leaf.Start()
+	restarted := map[string]int{}
+	w := NewWatchdog(f.loop, f.net, f.order, WatchdogConfig{
+		Interval: 10 * time.Second, FailThreshold: 2,
+		Restart: func(id string) {
+			restarted[id]++
+			f.net.SetPartitioned(AgentAddr(id), false)
+		},
+		Alerts: f.alertSink(),
+	})
+	w.Start()
+	f.loop.RunUntil(5 * time.Second)
+	f.net.SetPartitioned(AgentAddr("web-002"), true)
+	f.loop.RunUntil(20 * time.Second)
+	if leaf.QuarantinedCount() != 1 {
+		t.Fatalf("quarantined = %d, want 1 before the watchdog heals", leaf.QuarantinedCount())
+	}
+	f.loop.RunUntil(2 * time.Minute)
+	if restarted["web-002"] == 0 {
+		t.Error("watchdog never restarted the broken agent")
+	}
+	if leaf.QuarantinedCount() != 0 {
+		t.Error("leaf did not re-admit the agent after the watchdog healed it")
+	}
+	if _, valid := leaf.LastAggregate(); !valid {
+		t.Error("aggregation should be valid after recovery")
+	}
+}
+
+// TestWatchdogDialOverride routes watchdog pings through the fault
+// injector; a 100% drop rule makes a healthy agent look dead.
+func TestWatchdogDialOverride(t *testing.T) {
+	f := newFixture(t)
+	f.addFleet(3, "web", 0.5)
+	inj := faults.New(f.loop, 5, nil)
+	inj.Add(faults.Partition(AgentAddr("web-001"), 0, 0))
+	restarted := map[string]int{}
+	w := NewWatchdog(f.loop, f.net, f.order, WatchdogConfig{
+		Interval: 5 * time.Second, FailThreshold: 2,
+		Dial:    inj.WrapDial(f.net.Dial),
+		Restart: func(id string) { restarted[id]++ },
+	})
+	w.Start()
+	f.loop.RunUntil(time.Minute)
+	if restarted["web-001"] == 0 {
+		t.Error("injector-partitioned agent not restarted")
+	}
+	if restarted["web-000"] != 0 || restarted["web-002"] != 0 {
+		t.Errorf("untargeted agents restarted: %v", restarted)
+	}
+}
+
+// TestUpperRetriesRecoverFlakyChild drops half of one child's reads; with
+// retries the MSB keeps a valid aggregate.
+func TestUpperRetriesRecoverFlakyChild(t *testing.T) {
+	f := newFixture(t)
+	refsA := f.addFleet(5, "web", 0.6)
+	refsB := f.addFleet(5, "cache", 0.6)
+	leafA := NewLeaf(f.loop, LeafConfig{DeviceID: "rppA", Limit: power.KW(50)}, refsA)
+	leafB := NewLeaf(f.loop, LeafConfig{DeviceID: "rppB", Limit: power.KW(50)}, refsB)
+	f.net.Register(CtrlAddr("rppA"), leafA.Handler())
+	f.net.Register(CtrlAddr("rppB"), leafB.Handler())
+	inj := faults.New(f.loop, 13, nil)
+	inj.Add(faults.Rule{Peer: CtrlAddr("rppB"), Method: "*", DropP: 0.5})
+	up := NewUpper(f.loop, UpperConfig{
+		DeviceID: "sb1", Limit: power.KW(100), Alerts: f.alertSink(),
+		PullTimeout: 200 * time.Millisecond,
+		Retry:       retryCfg(),
+	}, []ChildRef{
+		{ID: "rppA", Client: inj.WrapClient(CtrlAddr("rppA"), f.net.Dial(CtrlAddr("rppA")))},
+		{ID: "rppB", Client: inj.WrapClient(CtrlAddr("rppB"), f.net.Dial(CtrlAddr("rppB")))},
+	})
+	leafA.Start()
+	leafB.Start()
+	up.Start()
+	f.loop.RunUntil(60 * time.Second)
+	if up.Retries() == 0 {
+		t.Error("expected retries against the flaky child")
+	}
+	if _, valid := up.LastAggregate(); !valid {
+		t.Error("upper aggregation should stay valid with retries covering the flaky child")
+	}
+}

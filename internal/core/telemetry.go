@@ -21,13 +21,19 @@ type ctrlInstr struct {
 	capEpisodes     *telemetry.Counter
 	uncapEpisodes   *telemetry.Counter
 	rpcFailures     *telemetry.Counter
+	rpcRetries      *telemetry.Counter
+	quarEvents      *telemetry.Counter
+	quarReadmits    *telemetry.Counter
+	leaseRenewals   *telemetry.Counter
+	leaseRenewFails *telemetry.Counter
 	planShortfalls  *telemetry.Counter
 	contractChanges *telemetry.Counter
 	alertCounts     [3]*telemetry.Counter // indexed by AlertLevel
 
-	agg      *telemetry.Gauge
-	effLimit *telemetry.Gauge
-	capped   *telemetry.Gauge
+	agg         *telemetry.Gauge
+	effLimit    *telemetry.Gauge
+	capped      *telemetry.Gauge
+	quarantined *telemetry.Gauge
 
 	cycleDur   *telemetry.Histogram
 	observeDur *telemetry.Histogram
@@ -49,11 +55,17 @@ func newCtrlInstr(sink *telemetry.Sink, device, level string) *ctrlInstr {
 		capEpisodes:     sink.Counter("dynamo_controller_cap_episodes_total", lb...),
 		uncapEpisodes:   sink.Counter("dynamo_controller_uncap_episodes_total", lb...),
 		rpcFailures:     sink.Counter("dynamo_controller_rpc_failures_total", lb...),
+		rpcRetries:      sink.Counter("dynamo_controller_rpc_retries_total", lb...),
+		quarEvents:      sink.Counter("dynamo_controller_quarantine_events_total", lb...),
+		quarReadmits:    sink.Counter("dynamo_controller_quarantine_readmissions_total", lb...),
+		leaseRenewals:   sink.Counter("dynamo_controller_lease_renewals_total", lb...),
+		leaseRenewFails: sink.Counter("dynamo_controller_lease_renewal_failures_total", lb...),
 		planShortfalls:  sink.Counter("dynamo_controller_plan_shortfalls_total", lb...),
 		contractChanges: sink.Counter("dynamo_controller_contract_changes_total", lb...),
 		agg:             sink.Gauge("dynamo_controller_aggregate_watts", lb...),
 		effLimit:        sink.Gauge("dynamo_controller_effective_limit_watts", lb...),
 		capped:          sink.Gauge("dynamo_controller_capped_servers", lb...),
+		quarantined:     sink.Gauge("dynamo_controller_quarantined_agents", lb...),
 		cycleDur:        sink.Histogram("dynamo_controller_cycle_duration_seconds", nil, lb...),
 		observeDur:      sink.Histogram("dynamo_controller_observe_phase_seconds", PhaseBuckets, lb...),
 	}
@@ -159,4 +171,39 @@ func (in *ctrlInstr) contractIssued(cycle uint64, now time.Duration, child strin
 func (in *ctrlInstr) rpcFailure(cycle uint64, now time.Duration, peer, op string, err error) {
 	in.rpcFailures.Inc()
 	in.sink.Emit(telemetry.EventRPCFailure, in.device, cycle, now, "%s to %s: %v", op, peer, err)
+}
+
+// rpcRetry records one re-attempt of a downstream call.
+func (in *ctrlInstr) rpcRetry(cycle uint64, now time.Duration, peer, op string, attempt int, err error) {
+	in.rpcRetries.Inc()
+	in.sink.Emit(telemetry.EventRPCFailure, in.device, cycle, now,
+		"retry %d of %s to %s after %v", attempt, op, peer, err)
+}
+
+// quarantine updates the circuit-breaker instruments after a cycle:
+// newly tripped breakers, re-admissions, and the active quarantine set.
+func (in *ctrlInstr) quarantine(entered, readmitted, active int) {
+	if entered > 0 {
+		in.quarEvents.Add(uint64(entered))
+	}
+	if readmitted > 0 {
+		in.quarReadmits.Add(uint64(readmitted))
+	}
+	in.quarantined.Set(float64(active))
+}
+
+// leaseRenewed records a successful cap-lease renewal.
+func (in *ctrlInstr) leaseRenewed() {
+	in.leaseRenewals.Inc()
+}
+
+// leaseRenewFailed records a renewal the agent rejected or that failed in
+// transit (the agent-side lease may now expire and release its cap).
+func (in *ctrlInstr) leaseRenewFailed(cycle uint64, now time.Duration, peer string, err error) {
+	in.leaseRenewFails.Inc()
+	if err != nil {
+		in.sink.Emit(telemetry.EventRPCFailure, in.device, cycle, now, "lease renewal to %s: %v", peer, err)
+	} else {
+		in.sink.Emit(telemetry.EventRPCFailure, in.device, cycle, now, "lease renewal to %s rejected (cap already released)", peer)
+	}
 }

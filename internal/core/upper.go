@@ -54,6 +54,9 @@ type UpperConfig struct {
 	// Checkpoint, when set, receives this controller's recoverable state
 	// at the end of every act phase (see LeafConfig.Checkpoint).
 	Checkpoint *statestore.Writer
+	// Retry bounds per-call RPC retries toward child controllers (pulls
+	// and contract sends). Zero disables retries.
+	Retry RetryConfig
 }
 
 func (c *UpperConfig) fillDefaults() {
@@ -147,6 +150,10 @@ type Upper struct {
 	tel          *ctrlInstr
 	cycleStartAt time.Duration
 	lastAction   Action
+
+	// retry policy (zero when retries are off) and re-attempt counter.
+	retryPol rpc.RetryPolicy
+	retries  uint64
 }
 
 // childCut is one contract to issue, in fixed child order. Emitting cuts
@@ -203,9 +210,33 @@ func NewUpper(loop simclock.Loop, cfg UpperConfig, children []ChildRef) *Upper {
 		u.children[c.ID] = &childState{id: c.ID, client: c.Client, quota: c.Quota}
 		u.order = append(u.order, c.ID)
 	}
+	if u.cfg.Retry.Enabled() {
+		u.retryPol = u.cfg.Retry.policy(u.cfg.PollInterval)
+	}
 	u.ticker = simclock.NewTicker(loop, cfg.PollInterval, u.pollCycle)
 	return u
 }
+
+// call issues one downstream RPC under the configured retry policy; with
+// retries disabled it is a plain single-attempt Call (see Leaf.call).
+func (u *Upper) call(st *childState, method string, req wire.Message, done func([]byte, error)) {
+	if !u.retryPol.Enabled() {
+		st.client.Call(method, req, u.cfg.PullTimeout, done)
+		return
+	}
+	pol := u.retryPol
+	pol.OnRetry = func(attempt int, err error) {
+		u.retries++
+		if u.tel != nil {
+			u.tel.rpcRetry(u.cycles, u.loop.Now(), st.id, method, attempt, err)
+		}
+	}
+	rpc.CallRetry(u.loop, st.client, method, st.id, req, u.cfg.PullTimeout, pol, done)
+}
+
+// Retries returns how many downstream RPC re-attempts this controller
+// has issued.
+func (u *Upper) Retries() uint64 { return u.retries }
 
 // DeviceID returns the protected device's identifier.
 func (u *Upper) DeviceID() string { return u.cfg.DeviceID }
@@ -306,7 +337,7 @@ func (u *Upper) pollCycle() {
 		st.rawValid = false
 		st.raw = nil
 		st.ok = false
-		st.client.Call(MethodCtrlReadPower, rpc.Empty, u.cfg.PullTimeout,
+		u.call(st, MethodCtrlReadPower, rpc.Empty,
 			func(resp []byte, err error) { u.onPull(seq, st, resp, err) })
 	}
 }
@@ -575,7 +606,7 @@ func (u *Upper) sendContracts(now time.Duration, cuts []childCut) {
 			u.tel.contractIssued(u.cycles, now, st.id, c.contract)
 		}
 		req := &SetContractRequest{LimitWatts: float64(c.contract)}
-		st.client.Call(MethodCtrlSetContract, req, u.cfg.PullTimeout, func(resp []byte, err error) {
+		u.call(st, MethodCtrlSetContract, req, func(resp []byte, err error) {
 			var ack AckResponse
 			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
 				if u.tel != nil {
@@ -649,7 +680,7 @@ func (u *Upper) sendClearContracts() {
 		if !st.contracted {
 			continue
 		}
-		st.client.Call(MethodCtrlClearContract, rpc.Empty, u.cfg.PullTimeout, func(resp []byte, err error) {
+		u.call(st, MethodCtrlClearContract, rpc.Empty, func(resp []byte, err error) {
 			var ack AckResponse
 			if derr := rpc.Decode(resp, err, &ack); derr != nil || !ack.OK {
 				if u.tel != nil {

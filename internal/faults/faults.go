@@ -1,0 +1,311 @@
+// Package faults is a deterministic, seeded fault-injection layer for
+// the rpc transports. It wraps any rpc.Client (and, for server-side
+// at-least-once semantics, any rpc.Handler) and applies scripted
+// drop/delay/duplicate/partition schedules keyed by (peer, method,
+// virtual time).
+//
+// Determinism contract: every fault decision is a pure function of
+// (seed, peer, method, per-(peer,method) call index, rule index) — a
+// stateless splitmix64-style hash, never a shared RNG stream — and all
+// injected waits run on the simclock loop. Same seed + same schedule +
+// same call sequence therefore yields byte-identical outcomes at any
+// GOMAXPROCS or worker-pool width, so chaos runs are covered by the
+// determinism golden sweep.
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+	"dynamo/internal/telemetry"
+	"dynamo/internal/wire"
+)
+
+// Rule is one scripted fault. A rule matches a call when the peer and
+// method globs match and the loop's virtual time lies in [From, Until)
+// (Until <= 0 means forever). Globs are exact strings, "" or "*" for
+// any, or a trailing-'*' prefix match ("agent/*").
+//
+// Matching rules compose: drop and duplicate probabilities are drawn
+// independently per rule, delays add up. A drop wins over everything
+// else — the request vanishes and the caller sees its timeout elapse
+// (ErrUnreachable immediately if the call had no deadline, mirroring the
+// in-proc transport's partition semantics).
+type Rule struct {
+	// Peer glob matched against the wrapped client's peer address.
+	Peer string
+	// Method glob matched against the call method ("Agent.ReadPower").
+	Method string
+	// From..Until is the virtual-time activity window. From <= 0 means
+	// from the start; Until <= 0 means never expires.
+	From  time.Duration
+	Until time.Duration
+	// DropP is the probability the request vanishes entirely.
+	DropP float64
+	// Delay (plus a uniform draw in [0, DelayJitter)) is added to the
+	// request's delivery time.
+	Delay       time.Duration
+	DelayJitter time.Duration
+	// DupP is the probability the request is issued twice (the caller
+	// still sees exactly one completion; the remote executes twice).
+	DupP float64
+}
+
+// Partition builds a rule that makes every call to peers matching glob
+// vanish during [from, until) — a network partition as seen from the
+// wrapped side.
+func Partition(peerGlob string, from, until time.Duration) Rule {
+	return Rule{Peer: peerGlob, Method: "*", From: from, Until: until, DropP: 1}
+}
+
+// Injector applies fault rules to wrapped clients. Safe for concurrent
+// use; per-(peer, method) call indices are the only mutable state.
+type Injector struct {
+	loop simclock.Loop
+	seed int64
+
+	mu    sync.Mutex
+	rules []Rule
+	calls map[string]uint64 // per peer+method call index
+
+	dropped    uint64
+	delayed    uint64
+	duplicated uint64
+
+	tel *faultInstr
+}
+
+// New builds an injector. sink may be nil (no metrics).
+func New(loop simclock.Loop, seed int64, sink *telemetry.Sink) *Injector {
+	in := &Injector{loop: loop, seed: seed, calls: make(map[string]uint64)}
+	if sink != nil {
+		in.tel = newFaultInstr(sink)
+	}
+	return in
+}
+
+// Add appends rules to the schedule. Callable mid-run (from the loop or
+// a scenario callback); rules only affect calls issued after the add.
+func (in *Injector) Add(rules ...Rule) {
+	in.mu.Lock()
+	in.rules = append(in.rules, rules...)
+	in.mu.Unlock()
+}
+
+// Counts reports how many faults have been injected so far.
+func (in *Injector) Counts() (dropped, delayed, duplicated uint64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dropped, in.delayed, in.duplicated
+}
+
+// WrapClient routes every call on c through the fault schedule, keyed by
+// the given peer address.
+func (in *Injector) WrapClient(peer string, c rpc.Client) rpc.Client {
+	return &faultClient{in: in, peer: peer, next: c}
+}
+
+// WrapDial decorates a dial function so every client it returns is
+// wrapped, keyed by the dialed address.
+func (in *Injector) WrapDial(dial func(addr string) rpc.Client) func(addr string) rpc.Client {
+	return func(addr string) rpc.Client {
+		return in.WrapClient(addr, dial(addr))
+	}
+}
+
+// WrapHandler applies the schedule on the server side, keyed by the
+// serving peer's own address: a drop becomes a remote error (the
+// transport delivers it; a true server-side black hole cannot be
+// expressed through a synchronous handler), and a duplicate executes the
+// handler twice before answering — at-least-once delivery, for flushing
+// out non-idempotent handlers. Delay rules are ignored here: a handler
+// must not block its loop.
+func (in *Injector) WrapHandler(peer string, h rpc.Handler) rpc.Handler {
+	return func(method string, body []byte) (wire.Message, error) {
+		v := in.verdict(peer, method)
+		if v.drop {
+			in.note(&in.dropped, func(t *faultInstr) *telemetry.Counter { return t.dropped })
+			return nil, fmt.Errorf("faults: request dropped by server %s", peer)
+		}
+		if v.dup {
+			in.note(&in.duplicated, func(t *faultInstr) *telemetry.Counter { return t.duplicated })
+			if _, err := h(method, body); err != nil {
+				return nil, err
+			}
+		}
+		return h(method, body)
+	}
+}
+
+type verdict struct {
+	drop  bool
+	delay time.Duration
+	dup   bool
+}
+
+// verdict draws this call's fate from the schedule. The per-(peer,
+// method) call index advances on every call — matched or not — so adding
+// a rule for one peer never shifts another peer's draws.
+func (in *Injector) verdict(peer, method string) verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := peer + "\x00" + method
+	n := in.calls[key]
+	in.calls[key] = n + 1
+	if len(in.rules) == 0 {
+		return verdict{}
+	}
+	now := in.loop.Now()
+	var v verdict
+	for i, r := range in.rules {
+		if now < r.From || (r.Until > 0 && now >= r.Until) {
+			continue
+		}
+		if !matchGlob(r.Peer, peer) || !matchGlob(r.Method, method) {
+			continue
+		}
+		salt := uint64(i) << 8
+		if r.DropP > 0 && unit(in.seed, peer, method, n, salt|1) < r.DropP {
+			v.drop = true
+		}
+		if r.Delay > 0 || r.DelayJitter > 0 {
+			d := r.Delay
+			if r.DelayJitter > 0 {
+				d += time.Duration(float64(r.DelayJitter) * unit(in.seed, peer, method, n, salt|2))
+			}
+			v.delay += d
+		}
+		if r.DupP > 0 && unit(in.seed, peer, method, n, salt|3) < r.DupP {
+			v.dup = true
+		}
+	}
+	return v
+}
+
+// note bumps an injection counter and its metric.
+func (in *Injector) note(c *uint64, pick func(*faultInstr) *telemetry.Counter) {
+	in.mu.Lock()
+	*c++
+	in.mu.Unlock()
+	if in.tel != nil {
+		pick(in.tel).Inc()
+	}
+}
+
+// matchGlob matches pattern against s: "" or "*" matches anything, a
+// trailing '*' is a prefix match, anything else is exact.
+func matchGlob(pattern, s string) bool {
+	if pattern == "" || pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(s, pattern[:len(pattern)-1])
+	}
+	return pattern == s
+}
+
+// faultClient is the client-side wrapper.
+type faultClient struct {
+	in   *Injector
+	peer string
+	next rpc.Client
+}
+
+// Call implements rpc.Client, applying the schedule before delegating.
+func (c *faultClient) Call(method string, req wire.Message, timeout time.Duration, done func([]byte, error)) {
+	v := c.in.verdict(c.peer, method)
+	if v.drop {
+		c.in.note(&c.in.dropped, func(t *faultInstr) *telemetry.Counter { return t.dropped })
+		// The request vanishes: the caller sees its deadline elapse, or
+		// an immediate unreachable if it set none — the same semantics
+		// the in-proc transport gives a partitioned endpoint.
+		if timeout > 0 {
+			c.in.loop.After(timeout, func() { done(nil, rpc.ErrTimeout) })
+		} else {
+			c.in.loop.After(0, func() { done(nil, rpc.ErrUnreachable) })
+		}
+		return
+	}
+	remaining := timeout
+	if v.delay > 0 {
+		c.in.note(&c.in.delayed, func(t *faultInstr) *telemetry.Counter { return t.delayed })
+		if timeout > 0 {
+			if v.delay >= timeout {
+				// The response cannot make the deadline; equivalent to a
+				// drop from the caller's side.
+				c.in.loop.After(timeout, func() { done(nil, rpc.ErrTimeout) })
+				return
+			}
+			remaining = timeout - v.delay
+		}
+	}
+	issue := func() {
+		if !v.dup {
+			c.next.Call(method, req, remaining, done)
+			return
+		}
+		c.in.note(&c.in.duplicated, func(t *faultInstr) *telemetry.Counter { return t.duplicated })
+		var once sync.Once
+		guard := func(resp []byte, err error) {
+			once.Do(func() { done(resp, err) })
+		}
+		c.next.Call(method, req, remaining, guard)
+		c.next.Call(method, req, remaining, guard)
+	}
+	if v.delay > 0 {
+		c.in.loop.After(v.delay, issue)
+	} else {
+		issue()
+	}
+}
+
+// Close implements rpc.Client.
+func (c *faultClient) Close() error { return c.next.Close() }
+
+// faultInstr holds the injector's metrics.
+type faultInstr struct {
+	dropped    *telemetry.Counter
+	delayed    *telemetry.Counter
+	duplicated *telemetry.Counter
+}
+
+func newFaultInstr(s *telemetry.Sink) *faultInstr {
+	return &faultInstr{
+		dropped:    s.Counter("dynamo_faults_dropped_total"),
+		delayed:    s.Counter("dynamo_faults_delayed_total"),
+		duplicated: s.Counter("dynamo_faults_duplicated_total"),
+	}
+}
+
+// splitmix64 is the finalizer from Vigna's SplitMix64 — a cheap,
+// high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64a hashes a string (FNV-1a).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unit returns a uniform float in [0, 1) determined purely by its
+// arguments.
+func unit(seed int64, peer, method string, n, salt uint64) float64 {
+	h := splitmix64(uint64(seed) ^ fnv64a(peer))
+	h = splitmix64(h ^ fnv64a(method))
+	h = splitmix64(h ^ n)
+	h = splitmix64(h ^ salt)
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,258 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dynamo/internal/rpc"
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// echo is a trivial message for round-trips.
+type echo struct{ N uint64 }
+
+func (m *echo) MarshalWire(e *wire.Encoder)         { e.Uvarint(m.N) }
+func (m *echo) UnmarshalWire(d *wire.Decoder) error { m.N = d.Uvarint(); return d.Err() }
+
+// harness wires a sim loop, an in-proc network with one echo endpoint,
+// and an injector-wrapped client to it.
+type harness struct {
+	loop   *simclock.SimLoop
+	inj    *Injector
+	client rpc.Client
+	served int
+}
+
+func newHarness(t *testing.T, seed int64, rules ...Rule) *harness {
+	t.Helper()
+	h := &harness{loop: simclock.NewSimLoop()}
+	net := rpc.NewNetwork(h.loop, time.Millisecond, 7)
+	net.Register("agent/a1", func(method string, body []byte) (wire.Message, error) {
+		h.served++
+		var m echo
+		if err := wire.Unmarshal(body, &m); err != nil {
+			return nil, err
+		}
+		return &m, nil
+	})
+	h.inj = New(h.loop, seed, nil)
+	h.inj.Add(rules...)
+	h.client = h.inj.WrapClient("agent/a1", net.Dial("agent/a1"))
+	return h
+}
+
+// call issues one call, steps the loop just until it completes, and
+// returns how long the call took in virtual time.
+func (h *harness) call(t *testing.T, timeout time.Duration) (time.Duration, error) {
+	t.Helper()
+	start := h.loop.Now()
+	var (
+		got    bool
+		doneAt time.Duration
+		cerr   error
+	)
+	h.loop.Post(func() {
+		h.client.Call("Echo", &echo{N: 1}, timeout, func(resp []byte, err error) {
+			got, doneAt, cerr = true, h.loop.Now(), err
+		})
+	})
+	for i := 0; i < 1_000_000 && !got; i++ {
+		if !h.loop.Step() {
+			break
+		}
+	}
+	if !got {
+		t.Fatalf("call never completed")
+	}
+	return doneAt - start, cerr
+}
+
+func TestNoRulesPassThrough(t *testing.T) {
+	h := newHarness(t, 1)
+	if _, err := h.call(t, time.Second); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	d, dl, du := h.inj.Counts()
+	if d+dl+du != 0 {
+		t.Fatalf("injected faults with no rules: %d %d %d", d, dl, du)
+	}
+}
+
+func TestDropAllTimesOut(t *testing.T) {
+	h := newHarness(t, 1, Rule{Peer: "agent/*", DropP: 1})
+	elapsed, err := h.call(t, 500*time.Millisecond)
+	if !errors.Is(err, rpc.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed != 500*time.Millisecond {
+		t.Fatalf("timeout elapsed at %v, want 500ms", elapsed)
+	}
+	if h.served != 0 {
+		t.Fatalf("dropped request reached the server")
+	}
+	// Without a deadline the drop surfaces immediately as unreachable.
+	if _, err := h.call(t, 0); !errors.Is(err, rpc.ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable for deadline-less drop, got %v", err)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	h := newHarness(t, 1, Rule{Delay: 100 * time.Millisecond})
+	base := newHarness(t, 1)
+	want, err := base.call(t, time.Second)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	elapsed, err := h.call(t, time.Second)
+	if err != nil {
+		t.Fatalf("delayed call failed: %v", err)
+	}
+	if elapsed != want+100*time.Millisecond {
+		t.Fatalf("delayed call took %v, want %v", elapsed, want+100*time.Millisecond)
+	}
+	// A delay at or past the deadline is a timeout at exactly the deadline.
+	h2 := newHarness(t, 1, Rule{Delay: 2 * time.Second})
+	elapsed, err = h2.call(t, time.Second)
+	if !errors.Is(err, rpc.ErrTimeout) || elapsed != time.Second {
+		t.Fatalf("over-deadline delay: got (%v, %v), want (1s, ErrTimeout)", elapsed, err)
+	}
+}
+
+func TestDuplicateDeliversOnce(t *testing.T) {
+	h := newHarness(t, 1, Rule{DupP: 1})
+	if _, err := h.call(t, time.Second); err != nil {
+		t.Fatalf("dup call failed: %v", err)
+	}
+	if h.served != 2 {
+		t.Fatalf("server saw %d requests, want 2", h.served)
+	}
+}
+
+func TestWindowGatesRules(t *testing.T) {
+	h := newHarness(t, 1, Rule{From: 10 * time.Second, Until: 20 * time.Second, DropP: 1})
+	if _, err := h.call(t, time.Second); err != nil {
+		t.Fatalf("rule active before window: %v", err)
+	}
+	h.loop.RunUntil(15 * time.Second)
+	if _, err := h.call(t, time.Second); !errors.Is(err, rpc.ErrTimeout) {
+		t.Fatalf("rule inactive inside window: %v", err)
+	}
+	h.loop.RunUntil(25 * time.Second)
+	if _, err := h.call(t, time.Second); err != nil {
+		t.Fatalf("rule active after window: %v", err)
+	}
+}
+
+func TestMethodGlob(t *testing.T) {
+	h := newHarness(t, 1, Rule{Method: "Other.Method", DropP: 1})
+	if _, err := h.call(t, time.Second); err != nil {
+		t.Fatalf("rule for another method dropped this call: %v", err)
+	}
+	h2 := newHarness(t, 1, Rule{Method: "Ech*", DropP: 1})
+	if _, err := h2.call(t, time.Second); !errors.Is(err, rpc.ErrTimeout) {
+		t.Fatalf("prefix method glob did not match: %v", err)
+	}
+}
+
+// TestDeterministicDraws verifies same seed + schedule ⇒ identical
+// outcome sequence, and that a different seed diverges.
+func TestDeterministicDraws(t *testing.T) {
+	run := func(seed int64) []bool {
+		h := newHarness(t, seed, Rule{DropP: 0.5})
+		var outs []bool
+		for i := 0; i < 64; i++ {
+			_, err := h.call(t, 100*time.Millisecond)
+			outs = append(outs, err == nil)
+		}
+		return outs
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverged at call %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical 64-call outcome sequence")
+	}
+	drops := 0
+	for _, ok := range a {
+		if !ok {
+			drops++
+		}
+	}
+	if drops < 16 || drops > 48 {
+		t.Fatalf("p=0.5 drop rate wildly off: %d/64 dropped", drops)
+	}
+}
+
+func TestWrapHandlerDupAndDrop(t *testing.T) {
+	loop := simclock.NewSimLoop()
+	inj := New(loop, 9, nil)
+	inj.Add(Rule{Method: "Dup", DupP: 1}, Rule{Method: "Drop", DropP: 1})
+	served := 0
+	h := inj.WrapHandler("agent/a1", func(method string, body []byte) (wire.Message, error) {
+		served++
+		return &echo{N: 1}, nil
+	})
+	if _, err := h("Dup", nil); err != nil {
+		t.Fatalf("dup handler call failed: %v", err)
+	}
+	if served != 2 {
+		t.Fatalf("duplicated handler ran %d times, want 2", served)
+	}
+	if _, err := h("Drop", nil); err == nil {
+		t.Fatalf("dropped handler call succeeded")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	rules, err := Parse(`
+# comment
+partition agent/srv2* 2m..5m
+drop  ctrl/* Ctrl.ReadPower 1m.. p=0.25
+delay agent/* * .. d=30ms j=20ms
+dup   * * ..10s p=0.1
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	p := rules[0]
+	if p.Peer != "agent/srv2*" || p.DropP != 1 || p.From != 2*time.Minute || p.Until != 5*time.Minute {
+		t.Fatalf("partition rule wrong: %+v", p)
+	}
+	if rules[1].DropP != 0.25 || rules[1].From != time.Minute || rules[1].Until != 0 {
+		t.Fatalf("drop rule wrong: %+v", rules[1])
+	}
+	if rules[2].Delay != 30*time.Millisecond || rules[2].DelayJitter != 20*time.Millisecond {
+		t.Fatalf("delay rule wrong: %+v", rules[2])
+	}
+	if rules[3].DupP != 0.1 || rules[3].Until != 10*time.Second {
+		t.Fatalf("dup rule wrong: %+v", rules[3])
+	}
+	for _, bad := range []string{
+		"drop agent/*",         // missing fields
+		"warp a b .. p=1",      // unknown kind
+		"drop a b .. p=1.5",    // probability out of range
+		"delay a b .. p=0.5",   // wrong parameter for kind
+		"drop a b 2m-5m p=1",   // bad window separator
+		"partition a b 2m..5m", // too many fields
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

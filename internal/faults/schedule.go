@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse reads a textual fault schedule, one rule per line:
+//
+//	drop      <peer> <method> <window> p=<prob>
+//	delay     <peer> <method> <window> d=<dur> [j=<dur>]
+//	dup       <peer> <method> <window> p=<prob>
+//	partition <peer> <window>
+//
+// <peer> and <method> are globs ("*" any, trailing "*" prefix). <window>
+// is "<from>..<until>" in Go duration syntax; either side may be empty
+// ("2m..", "..5m", ".." for always). Blank lines and '#' comments are
+// skipped. Example:
+//
+//	# cut rack 2's agents off for three minutes
+//	partition agent/srv2* 2m..5m
+//	drop  ctrl/* Ctrl.ReadPower 1m..  p=0.2
+//	delay agent/* *             ..    d=30ms j=20ms
+func Parse(text string) ([]Rule, error) {
+	var rules []Rule
+	for lineNo, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		r, err := parseRule(fields)
+		if err != nil {
+			return nil, fmt.Errorf("faults: line %d: %w", lineNo+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseRule(fields []string) (Rule, error) {
+	var r Rule
+	kind := fields[0]
+	switch kind {
+	case "partition":
+		if len(fields) != 3 {
+			return r, fmt.Errorf("partition wants: partition <peer> <from>..<until>")
+		}
+		from, until, err := parseWindow(fields[2])
+		if err != nil {
+			return r, err
+		}
+		return Partition(fields[1], from, until), nil
+	case "drop", "delay", "dup":
+		if len(fields) < 5 {
+			return r, fmt.Errorf("%s wants: %s <peer> <method> <from>..<until> <params>", kind, kind)
+		}
+		r.Peer, r.Method = fields[1], fields[2]
+		var err error
+		if r.From, r.Until, err = parseWindow(fields[3]); err != nil {
+			return r, err
+		}
+		for _, param := range fields[4:] {
+			k, v, ok := strings.Cut(param, "=")
+			if !ok {
+				return r, fmt.Errorf("bad parameter %q (want k=v)", param)
+			}
+			switch {
+			case k == "p" && (kind == "drop" || kind == "dup"):
+				p, perr := strconv.ParseFloat(v, 64)
+				if perr != nil || p < 0 || p > 1 {
+					return r, fmt.Errorf("bad probability %q", v)
+				}
+				if kind == "drop" {
+					r.DropP = p
+				} else {
+					r.DupP = p
+				}
+			case k == "d" && kind == "delay":
+				d, derr := time.ParseDuration(v)
+				if derr != nil || d < 0 {
+					return r, fmt.Errorf("bad delay %q", v)
+				}
+				r.Delay = d
+			case k == "j" && kind == "delay":
+				j, jerr := time.ParseDuration(v)
+				if jerr != nil || j < 0 {
+					return r, fmt.Errorf("bad jitter %q", v)
+				}
+				r.DelayJitter = j
+			default:
+				return r, fmt.Errorf("unknown %s parameter %q", kind, k)
+			}
+		}
+		return r, nil
+	default:
+		return r, fmt.Errorf("unknown rule kind %q", kind)
+	}
+}
+
+// parseWindow parses "<from>..<until>"; empty sides mean open-ended.
+func parseWindow(s string) (from, until time.Duration, err error) {
+	lo, hi, ok := strings.Cut(s, "..")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad window %q (want <from>..<until>)", s)
+	}
+	if lo != "" {
+		if from, err = time.ParseDuration(lo); err != nil {
+			return 0, 0, fmt.Errorf("bad window start %q", lo)
+		}
+	}
+	if hi != "" {
+		if until, err = time.ParseDuration(hi); err != nil {
+			return 0, 0, fmt.Errorf("bad window end %q", hi)
+		}
+	}
+	return from, until, nil
+}

@@ -1,0 +1,136 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"dynamo/internal/simclock"
+	"dynamo/internal/wire"
+)
+
+// redialCall issues one call and waits for its verdict.
+func redialCall(t *testing.T, loop *simclock.WallLoop, cl Client, want string) error {
+	t.Helper()
+	done := make(chan error, 1)
+	loop.Post(func() {
+		cl.Call("echo", &echoMsg{S: want}, 2*time.Second, func(resp []byte, err error) {
+			if err != nil {
+				done <- err
+				return
+			}
+			var m echoMsg
+			if err := wire.Unmarshal(resp, &m); err != nil {
+				done <- err
+				return
+			}
+			if m.S != "re:"+want {
+				t.Errorf("echo = %q, want %q", m.S, "re:"+want)
+			}
+			done <- nil
+		})
+	})
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never completed")
+		return nil
+	}
+}
+
+// TestRedialClientSurvivesPeerRestart is the quarantine-probe scenario
+// over real TCP: the peer dies (calls fail), then comes back on the same
+// address, and the same client must carry calls again — this is what
+// lets a leaf re-admit a restarted agent.
+func TestRedialClientSurvivesPeerRestart(t *testing.T) {
+	srv := NewTCPServer(echoHandler)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := simclock.NewWallLoop()
+	defer loop.Close()
+	cl := RedialTCP(addr, loop)
+	defer cl.Close()
+
+	if err := redialCall(t, loop, cl, "up"); err != nil {
+		t.Fatalf("initial call: %v", err)
+	}
+
+	srv.Close()
+	// The dead peer surfaces as a retryable failure, not a hang. The first
+	// call may race connection teardown and land ErrClosed/ErrTimeout;
+	// once the OS refuses connections every call is ErrUnreachable.
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		lastErr = redialCall(t, loop, cl, "down")
+		if lastErr == ErrUnreachable {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if lastErr != ErrUnreachable {
+		t.Fatalf("dead peer: got %v, want ErrUnreachable", lastErr)
+	}
+
+	srv2 := NewTCPServer(echoHandler)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if err := redialCall(t, loop, cl, "back"); err != nil {
+		t.Fatalf("call after peer restart: %v", err)
+	}
+}
+
+// TestRedialClientLazyDial: construction must not require the peer to be
+// up; the first call dials, and an unreachable peer is ErrUnreachable.
+func TestRedialClientLazyDial(t *testing.T) {
+	loop := simclock.NewWallLoop()
+	defer loop.Close()
+
+	// Grab an address with no listener behind it.
+	srv := NewTCPServer(echoHandler)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	cl := RedialTCP(addr, loop)
+	defer cl.Close()
+	if err := redialCall(t, loop, cl, "x"); err != ErrUnreachable {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+
+	srv2 := NewTCPServer(echoHandler)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if err := redialCall(t, loop, cl, "y"); err != nil {
+		t.Fatalf("call once peer is up: %v", err)
+	}
+}
+
+// TestRedialClientClosed: Close is terminal; no call may resurrect the
+// connection.
+func TestRedialClientClosed(t *testing.T) {
+	srv := NewTCPServer(echoHandler)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	loop := simclock.NewWallLoop()
+	defer loop.Close()
+
+	cl := RedialTCP(addr, loop)
+	if err := redialCall(t, loop, cl, "a"); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := redialCall(t, loop, cl, "b"); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}

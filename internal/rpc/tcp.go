@@ -235,7 +235,7 @@ func (c *TCPClient) readLoop() {
 	for {
 		env, err := readFrame(c.conn)
 		if err != nil {
-			c.failAll(ErrClosed)
+			c.markDead()
 			return
 		}
 		if env.Kind != kindResponse {
@@ -246,7 +246,13 @@ func (c *TCPClient) readLoop() {
 		delete(c.pending, env.ID)
 		c.mu.Unlock()
 		if pc == nil {
-			continue // late response after timeout
+			// Late response: the call already timed out and its pending
+			// entry was reaped. Count it — a rising rate means timeouts
+			// are tuned below the peer's real latency.
+			if c.tel != nil {
+				c.tel.late.Inc()
+			}
+			continue
 		}
 		if pc.timer != nil {
 			pc.timer.Stop()
@@ -323,6 +329,27 @@ func (c *TCPClient) Call(method string, req wire.Message, timeout time.Duration,
 		}
 		pc.complete(c.loop, nil, err)
 	}
+}
+
+// markDead is the readLoop's exit path: the connection is unusable, so
+// fail fast from here on instead of writing into a broken socket.
+func (c *TCPClient) markDead() {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !already {
+		c.conn.Close()
+	}
+	c.failAll(ErrClosed)
+}
+
+// Alive reports whether the connection can still carry calls. False once
+// Close is called or the read side hits an error (peer gone).
+func (c *TCPClient) Alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed
 }
 
 // Close implements Client.

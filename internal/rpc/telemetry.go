@@ -10,6 +10,7 @@ import (
 type rpcInstr struct {
 	requests *telemetry.Counter
 	errors   *telemetry.Counter
+	late     *telemetry.Counter
 	latency  *telemetry.Histogram
 }
 
@@ -21,6 +22,7 @@ func newRPCInstr(s *telemetry.Sink, side string) *rpcInstr {
 	return &rpcInstr{
 		requests: s.Counter("dynamo_rpc_"+side+"_requests_total", lb...),
 		errors:   s.Counter("dynamo_rpc_"+side+"_errors_total", lb...),
+		late:     s.Counter("dynamo_rpc_late_responses_total", append([]string{"side", side}, lb...)...),
 		latency:  s.Histogram("dynamo_rpc_"+side+"_latency_seconds", nil, lb...),
 	}
 }

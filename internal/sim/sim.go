@@ -16,6 +16,7 @@ import (
 
 	"dynamo/internal/agent"
 	"dynamo/internal/core"
+	"dynamo/internal/faults"
 	"dynamo/internal/metrics"
 	"dynamo/internal/monitor"
 	"dynamo/internal/platform"
@@ -99,6 +100,28 @@ type Config struct {
 	// Checkpoint writes ride the serial act phase, so enabling this keeps
 	// runs byte-identical to Checkpoint=false at any worker count.
 	Checkpoint bool
+	// FaultRules seeds the deterministic fault injector with a chaos
+	// schedule applied to every controller-side RPC client (agent pulls,
+	// cap sends, inter-controller contract calls). Empty means no faults;
+	// the injector is still built so tests can Add rules mid-run. Faults
+	// draw from a stateless hash of (Seed, peer, method, call index), so
+	// the same seed and schedule replays byte-identically at any worker
+	// count.
+	FaultRules []faults.Rule
+	// ControlRetry configures bounded RPC retries for every controller.
+	// Zero value disables (single attempt, the legacy behavior).
+	ControlRetry core.RetryConfig
+	// QuarantineThreshold trips a leaf's per-agent circuit breaker after
+	// this many consecutive failed pulls. 0 disables.
+	QuarantineThreshold int
+	// QuarantineProbeEvery sets the half-open probe cadence (cycles)
+	// for quarantined agents. Defaults to 2 when quarantine is enabled.
+	QuarantineProbeEvery int
+	// CapLeaseTTL bounds how long a cap may outlive its controller:
+	// leaves attach this lease to every SetCap and renew it each cycle;
+	// agents release unrenewed caps and raise a warning alert. 0 keeps
+	// caps unleased (legacy).
+	CapLeaseTTL time.Duration
 }
 
 // recharge is one rack's decaying DCUPS recharge draw.
@@ -132,6 +155,10 @@ type Sim struct {
 	Breakers  map[topology.NodeID]*power.Breaker
 	// Store is the controller state store (nil unless Cfg.Checkpoint).
 	Store *statestore.Store
+	// Faults is the deterministic fault injector wrapping every
+	// controller-side RPC client. Always non-nil when Dynamo is enabled;
+	// with no rules it passes calls through untouched.
+	Faults *faults.Injector
 
 	serverOrder []string
 	deviceOrder []topology.NodeID
@@ -352,6 +379,26 @@ func New(cfg Config) (*Sim, error) {
 
 	s.buildAggIndex()
 
+	if cfg.CapLeaseTTL > 0 {
+		// Arm the cap-lease fail-safe on every agent: a cap whose lease
+		// goes unrenewed (dead or partitioned controller) is released and
+		// surfaced as a warning alert.
+		for _, id := range s.serverOrder {
+			ag, ok := s.Agents[id]
+			if !ok {
+				continue
+			}
+			ag.EnableLease(loop, cfg.CapLeaseTTL, func(id string, limit power.Watts) {
+				s.Alerts = append(s.Alerts, core.Alert{
+					Time:       s.Loop.Now(),
+					Level:      core.AlertWarning,
+					Controller: "agent/" + id,
+					Msg:        fmt.Sprintf("cap lease expired; released %.0fW limit", float64(limit)),
+				})
+			})
+		}
+	}
+
 	if cfg.EnableDynamo {
 		hcfg := cfg.Hierarchy
 		if hcfg.NonServerDrawPerRack == 0 {
@@ -390,6 +437,18 @@ func New(cfg Config) (*Sim, error) {
 		} else if hcfg.StateStore != nil {
 			s.Store = hcfg.StateStore
 		}
+		// Every controller-side client dials through the fault injector;
+		// with no rules it is a zero-cost pass-through.
+		s.Faults = faults.New(s.Loop, cfg.Seed^0xfa17, cfg.Telemetry)
+		s.Faults.Add(cfg.FaultRules...)
+		hcfg.Dial = s.Faults.WrapDial(s.Net.Dial)
+		hcfg.Retry = cfg.ControlRetry
+		if hcfg.Retry.Enabled() && hcfg.Retry.Seed == 0 {
+			hcfg.Retry.Seed = cfg.Seed ^ 0x6e77
+		}
+		hcfg.QuarantineThreshold = cfg.QuarantineThreshold
+		hcfg.QuarantineProbeEvery = cfg.QuarantineProbeEvery
+		hcfg.CapLeaseTTL = cfg.CapLeaseTTL
 		h, err := core.BuildHierarchy(s.Loop, s.Net, topo, hcfg)
 		if err != nil {
 			return nil, err
@@ -704,6 +763,18 @@ func (s *Sim) SetGovMaxForService(service string, f float64) {
 			s.Servers[id].SetGovMaxFreq(f)
 		}
 	}
+}
+
+// LeaseExpiries sums how many caps agents have released because their
+// lease went unrenewed (only nonzero with Config.CapLeaseTTL set).
+func (s *Sim) LeaseExpiries() uint64 {
+	var n uint64
+	for _, id := range s.serverOrder {
+		if ag, ok := s.Agents[id]; ok {
+			n += ag.LeaseExpiries()
+		}
+	}
+	return n
 }
 
 // CappedServerCount returns how many servers currently hold a RAPL limit.

@@ -26,6 +26,17 @@ type ShipperConfig struct {
 	BatchMax int
 	// Telemetry instruments the shipper (nil disables).
 	Telemetry *telemetry.Sink
+	// Retries adds bounded in-tick retries to each replicate call
+	// (deterministically jittered backoff, budgeted to finish inside the
+	// shipping interval). 0 keeps the legacy single attempt per tick —
+	// cumulative acks already heal losses on the next tick, so retries
+	// only tighten replication lag under flaky links.
+	Retries int
+	// RetryBackoff is the base backoff between replicate retries.
+	// Default 50ms (rpc.RetryPolicy's default).
+	RetryBackoff time.Duration
+	// RetrySeed seeds the deterministic retry jitter.
+	RetrySeed int64
 }
 
 func (c *ShipperConfig) fillDefaults() {
@@ -177,7 +188,7 @@ func (sh *Shipper) ship(p *peerState) {
 	p.inflight = true
 	req := &ReplicateRequest{Source: sh.store.Name(), Entries: batch}
 	sent := len(batch)
-	p.client.Call(MethodReplicate, req, sh.cfg.Timeout, func(resp []byte, err error) {
+	sh.call(p, req, func(resp []byte, err error) {
 		p.inflight = false
 		var ack ReplicateResponse
 		if derr := rpc.Decode(resp, err, &ack); derr != nil {
@@ -202,4 +213,22 @@ func (sh *Shipper) ship(p *peerState) {
 			p.lag.Set(float64(sh.peerLag(p)))
 		}
 	})
+}
+
+// call issues one replicate RPC, with bounded in-tick retries when
+// configured. The retry budget stays inside the shipping interval so at
+// most one batch per peer is ever in flight.
+func (sh *Shipper) call(p *peerState, req *ReplicateRequest, done func([]byte, error)) {
+	if sh.cfg.Retries <= 0 {
+		p.client.Call(MethodReplicate, req, sh.cfg.Timeout, done)
+		return
+	}
+	pol := rpc.RetryPolicy{
+		MaxRetries: sh.cfg.Retries,
+		Backoff:    sh.cfg.RetryBackoff,
+		JitterFrac: 0.2,
+		Seed:       sh.cfg.RetrySeed,
+		Budget:     sh.cfg.Interval * 9 / 10,
+	}
+	rpc.CallRetry(sh.loop, p.client, MethodReplicate, p.name, req, sh.cfg.Timeout, pol, done)
 }

@@ -9,6 +9,7 @@ package suite
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dynamo/internal/config"
 	"dynamo/internal/core"
@@ -108,6 +109,18 @@ type Options struct {
 	// so its recoverable state streams into the replicated state store
 	// each decision cycle. The store must live on the same loop.
 	Store *statestore.Store
+	// Retry configures bounded RPC retries for every controller's
+	// outbound calls. Zero value disables (single attempt).
+	Retry core.RetryConfig
+	// QuarantineThreshold trips a leaf's per-agent circuit breaker after
+	// this many consecutive failed pulls. 0 disables.
+	QuarantineThreshold int
+	// QuarantineProbeEvery sets the half-open probe cadence (cycles)
+	// for quarantined agents. Defaults to 2 when quarantine is enabled.
+	QuarantineProbeEvery int
+	// CapLeaseTTL, when nonzero, attaches a lease to every cap a leaf
+	// sends; agents release caps whose lease goes unrenewed.
+	CapLeaseTTL time.Duration
 }
 
 // Build constructs every controller in the suite configuration. tel may be
@@ -195,6 +208,11 @@ func BuildWith(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.A
 			Alerts:       alerts,
 			Telemetry:    tel,
 			Scheduler:    a.Sched,
+
+			Retry:                opts.Retry,
+			QuarantineThreshold:  opts.QuarantineThreshold,
+			QuarantineProbeEvery: opts.QuarantineProbeEvery,
+			CapLeaseTTL:          opts.CapLeaseTTL,
 		}
 		if c.Bands != nil {
 			lc.Bands = bandConfig(c.Bands)
@@ -238,6 +256,7 @@ func BuildWith(loop simclock.Loop, cfg *config.Suite, dial Dialer, alerts core.A
 			Alerts:       alerts,
 			Telemetry:    tel,
 			Scheduler:    a.Sched,
+			Retry:        opts.Retry,
 		}
 		if c.Bands != nil {
 			uc.Bands = bandConfig(c.Bands)
