@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dynamo-sim [-servers 960] [-hours 24] [-seed 1] [-dynamo=true]
-//	           [-oversubscribe 1.0] [-surge-at -1] [-full]
+//	           [-oversubscribe 1.0] [-surge-at -1] [-full] [-agg-epsilon 0]
 //
 // -oversubscribe shrinks every breaker rating by the given factor,
 // emulating aggressive power subscription; -surge-at injects a traffic
@@ -32,6 +32,8 @@ func main() {
 	oversub := flag.Float64("oversubscribe", 1.0, "divide breaker ratings by this factor")
 	surgeAt := flag.Float64("surge-at", -1, "inject a row surge at this hour (-1: none)")
 	full := flag.Bool("full", false, "build the full 30 MW paper topology (overrides -servers)")
+	aggEps := flag.Float64("agg-epsilon", 0,
+		"incremental aggregation epsilon in watts: servers whose draw moved less than this since the last committed snapshot are skipped by re-aggregation (0 = exact, bit-identical to a full rebuild)")
 	flag.Parse()
 
 	spec := topology.DefaultSpec()
@@ -48,7 +50,8 @@ func main() {
 
 	s, err := sim.New(sim.Config{
 		Spec: spec, Seed: *seed, EnableDynamo: *dynamo,
-		ValidatorInterval: time.Minute,
+		ValidatorInterval:  time.Minute,
+		AggregationEpsilon: power.Watts(*aggEps),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -78,9 +81,12 @@ func main() {
 	for t := time.Duration(0); t < dur; t += step {
 		s.Run(step)
 		mon.Observe(s.Loop.Now(), s.Observations())
-		fmt.Printf("t=%-8v total=%-12v capped=%-5d trips=%d alerts=%d\n",
+		mon.ObserveQuiescence(s.QuiescenceSample())
+		q := mon.LastQuiescence()
+		fmt.Printf("t=%-8v total=%-12v capped=%-5d trips=%d alerts=%d dirty=%d/%d reagg=%d/%d\n",
 			s.Loop.Now().Round(time.Second), s.TotalPower(),
-			s.CappedServerCount(), len(s.Trips), len(s.Alerts))
+			s.CappedServerCount(), len(s.Trips), len(s.Alerts),
+			q.DirtyServers, q.Servers, q.ReaggregatedDevices, q.Devices)
 	}
 
 	fmt.Printf("\nsummary after %v:\n", dur)

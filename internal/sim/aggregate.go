@@ -15,58 +15,130 @@ import (
 // serially regardless of the worker setting.
 const parallelTickMin = 256
 
-// aggDev is one device's precomputed aggregation inputs: the servers (and
-// cappable switches) attached directly to it, its count of constant-draw
-// switches, and the snapshot indices of its child devices. The slice of
-// aggDev is ordered post-order, so children are always computed before
-// their parents and one forward pass aggregates the whole hierarchy.
+// aggDev is one device's precomputed aggregation inputs: the tickList
+// indices of the servers (and cappable switches) attached directly to it,
+// its count of constant-draw switches, and the snapshot indices of its
+// child devices. The slice of aggDev is ordered post-order, so children
+// always carry smaller indices than their parents and one ascending pass
+// aggregates the whole hierarchy — or any dirty subset of it.
 type aggDev struct {
 	id       topology.NodeID
 	isRack   bool
-	leaves   []*server.Server
+	leafIdx  []int
 	constSw  int
 	children []int
+	// parent is the snapshot index of the nearest enclosing device, -1 at
+	// the top of the hierarchy (topology.Node.ParentDevice).
+	parent int
+	// subLo is the first snapshot index of this device's device-subtree:
+	// post-order contiguity makes [subLo, own index] the subtree range.
+	subLo int
+	// subLeaves counts the servers/cappable switches in the device's whole
+	// subtree — the multiplier of the epsilon drift bound.
+	subLeaves int
 }
 
 // snapshot is the per-tick power view every consumer reads: breaker
 // observations, validators, recorders, Observations, DevicePower, and
-// TotalPower. It is recomputed once per physics tick (and on demand if
-// queried at a timestamp the tick has not reached).
+// TotalPower. It is versioned: every committed aggregation pass bumps
+// version, so consumers caching derived state can detect change cheaply.
 type snapshot struct {
-	at    time.Duration
-	valid bool
-	dev   []power.Watts
-	total power.Watts
+	at      time.Duration
+	valid   bool
+	version uint64
+	dev     []power.Watts
+	// Fleet total is computed lazily (TotalPower), in fixed server order,
+	// so the per-tick hot path never pays for an O(N) sum nobody reads.
+	total      power.Watts
+	totalAt    time.Duration
+	totalValid bool
+}
+
+// AggregationStats describes how much work the incremental aggregation
+// pipeline actually did — the quiescence signal the monitor publishes.
+type AggregationStats struct {
+	// DirtyServers is how many servers moved beyond the epsilon on the
+	// last committed pass.
+	DirtyServers int
+	// ReaggregatedDevices is how many devices the last committed pass
+	// recomputed (dirty homes plus their changed ancestor chains).
+	ReaggregatedDevices int
+	// Servers and Devices are the fleet totals, for ratio gauges.
+	Servers int
+	Devices int
+	// IncrementalPasses and FullRebuilds count committed passes since
+	// start; partial subtree refreshes (DevicePower between ticks) are
+	// counted separately.
+	IncrementalPasses uint64
+	FullRebuilds      uint64
+	SubtreeRefreshes  uint64
+	// WorkloadActivity is the largest per-service "changed since last
+	// tick" hint (workload.Shared.TickHint) observed on the last tick.
+	WorkloadActivity float64
 }
 
 // buildAggIndex resolves the topology's post-order device index against
 // the constructed server instances. Called once at New, after all servers
 // (including cappable switches) exist.
 func (s *Sim) buildAggIndex() {
+	s.tickList = make([]*server.Server, len(s.serverOrder))
+	tickIdx := make(map[string]int, len(s.serverOrder))
+	for i, id := range s.serverOrder {
+		s.tickList[i] = s.Servers[id]
+		tickIdx[id] = i
+	}
+
 	post := s.Topo.DevicesPostOrder()
 	s.agg = make([]aggDev, 0, len(post))
 	s.aggIdx = make(map[topology.NodeID]int, len(post))
 	for _, n := range post {
-		d := aggDev{id: n.ID, isRack: n.Kind == topology.KindRack}
+		d := aggDev{id: n.ID, isRack: n.Kind == topology.KindRack, parent: -1}
 		for _, l := range n.DirectLeaves() {
-			if sv, ok := s.Servers[string(l.ID)]; ok {
-				d.leaves = append(d.leaves, sv)
+			if li, ok := tickIdx[string(l.ID)]; ok {
+				d.leafIdx = append(d.leafIdx, li)
 			} else {
 				d.constSw++
 			}
 		}
+		d.subLeaves = len(d.leafIdx)
 		for _, c := range n.ChildDevices() {
-			d.children = append(d.children, s.aggIdx[c.ID])
+			ci := s.aggIdx[c.ID]
+			d.children = append(d.children, ci)
+			d.subLeaves += s.agg[ci].subLeaves
 		}
+		if p := n.ParentDevice(); p != nil {
+			// Parents come after children in post-order, so the parent's
+			// own index is not assigned yet; it is patched below.
+			_ = p
+		}
+		lo, _, _ := n.DeviceSubtreeRange()
+		d.subLo = lo
 		s.aggIdx[n.ID] = len(s.agg)
 		s.agg = append(s.agg, d)
 	}
-	s.snap.dev = make([]power.Watts, len(s.agg))
-
-	s.tickList = make([]*server.Server, len(s.serverOrder))
-	for i, id := range s.serverOrder {
-		s.tickList[i] = s.Servers[id]
+	// Patch parent indices now that every device has its snapshot slot.
+	for i, n := range post {
+		if p := n.ParentDevice(); p != nil {
+			s.agg[i].parent = s.aggIdx[p.ID]
+		}
 	}
+	s.snap.dev = make([]power.Watts, len(s.agg))
+	s.devDirty = make([]bool, len(s.agg))
+
+	// Per-server dirty-tracking state: the draw last committed into the
+	// server's home device, and that device's snapshot index (-1 when no
+	// device encloses the server).
+	s.lastAgg = make([]power.Watts, len(s.tickList))
+	s.homeDev = make([]int, len(s.tickList))
+	for i, id := range s.serverOrder {
+		s.homeDev[i] = -1
+		if n := s.Topo.Lookup(topology.NodeID(id)); n != nil {
+			if h := n.HomeDevice(); h != nil {
+				s.homeDev[i] = s.aggIdx[h.ID]
+			}
+		}
+	}
+
 	s.constSwitches = 0
 	for _, sw := range s.Topo.OfKind(topology.KindSwitch) {
 		if _, ok := s.Servers[string(sw.ID)]; !ok {
@@ -78,6 +150,7 @@ func (s *Sim) buildAggIndex() {
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
+	s.shardDirty = make([][]int, s.workers)
 
 	s.breakerList = make([]*power.Breaker, len(s.deviceOrder))
 	s.devSnapIdx = make([]int, len(s.deviceOrder))
@@ -138,41 +211,120 @@ func (s *Sim) observeBreakers(now time.Duration) {
 	wg.Wait()
 }
 
-// aggregate recomputes the snapshot at time now: one bottom-up pass over
-// the post-order device index, each device summing its DCUPS recharge (if
-// a rack), its directly attached server/switch draws, its constant switch
-// draw, and its already-computed child device totals — O(total nodes) for
-// the whole hierarchy instead of O(nodes × depth) subtree walks.
-// Summation order is fixed by the index, so results are identical at any
-// worker count.
+// recomputeDev re-aggregates one device at time now: DCUPS recharge (if a
+// rack), directly attached server/switch draws, constant switch draw, and
+// the already-committed child device totals, summed in exactly the fixed
+// order the full pass uses — so a device recomputed incrementally is
+// bit-identical to the same device in a full rebuild. It commits each
+// attached leaf's draw into lastAgg, resetting the leaf's epsilon drift.
+func (s *Sim) recomputeDev(i int, now time.Duration) power.Watts {
+	d := &s.agg[i]
+	var sum power.Watts
+	if d.isRack {
+		sum += s.rechargeAt(d.id, now)
+	}
+	for _, li := range d.leafIdx {
+		p := s.tickList[li].Power()
+		s.lastAgg[li] = p
+		sum += p
+	}
+	if d.constSw > 0 {
+		sum += power.Watts(d.constSw) * s.Cfg.SwitchDraw
+	}
+	for _, c := range d.children {
+		sum += s.snap.dev[c]
+	}
+	return sum
+}
+
+// aggregate brings the snapshot to time now, dispatching to the full
+// rebuild until the first pass has initialized the incremental state (or
+// when the test knob forces the oracle path), and to the dirty-subtree
+// incremental pass afterwards.
 func (s *Sim) aggregate(now time.Duration) {
+	if s.useFullAgg || !s.aggInit {
+		s.aggregateFull(now)
+		return
+	}
+	s.aggregateIncremental(now)
+}
+
+// aggregateFull recomputes every device from scratch: one bottom-up pass
+// over the post-order device index — O(total nodes) for the whole
+// hierarchy. Kept as the incremental path's cross-check oracle (and the
+// mandatory first pass); summation order is fixed by the index, so
+// results are identical at any worker count.
+func (s *Sim) aggregateFull(now time.Duration) {
+	dirty := s.drainDirty()
+	for i := range s.devDirty {
+		s.devDirty[i] = false
+	}
 	for i := range s.agg {
-		d := &s.agg[i]
-		var sum power.Watts
-		if d.isRack {
-			sum += s.rechargeAt(d.id, now)
-		}
-		for _, sv := range d.leaves {
-			sum += sv.Power()
-		}
-		if d.constSw > 0 {
-			sum += power.Watts(d.constSw) * s.Cfg.SwitchDraw
-		}
-		for _, c := range d.children {
-			sum += s.snap.dev[c]
-		}
-		s.snap.dev[i] = sum
+		s.snap.dev[i] = s.recomputeDev(i, now)
 	}
-	// Fleet total keeps its historical definition: all server draws plus
-	// constant switch draw, without DCUPS recharge.
-	var total power.Watts
-	for _, sv := range s.tickList {
-		total += sv.Power()
+	s.commit(now, dirty, len(s.agg))
+	s.statFullRebuilds++
+}
+
+// aggregateIncremental re-aggregates only what changed: the home devices
+// of servers whose draw moved beyond the epsilon (recorded per shard by
+// the physics pass), every rack with an active DCUPS recharge (their draw
+// is time-dependent), and the ancestor chains of any device whose total
+// actually changed. Devices are processed in ascending post-order index,
+// so a dirty child always commits before its parent reads it; untouched
+// devices keep their snapshot entries, which at epsilon=0 are bit-for-bit
+// what a full rebuild would recompute (their inputs are unchanged and the
+// per-device summation order is fixed).
+func (s *Sim) aggregateIncremental(now time.Duration) {
+	dirty := s.drainDirty()
+	reagg := 0
+	for i := range s.agg {
+		if !s.devDirty[i] {
+			continue
+		}
+		s.devDirty[i] = false
+		sum := s.recomputeDev(i, now)
+		reagg++
+		if sum != s.snap.dev[i] {
+			s.snap.dev[i] = sum
+			if p := s.agg[i].parent; p >= 0 {
+				s.devDirty[p] = true
+			}
+		}
 	}
-	total += power.Watts(s.constSwitches) * s.Cfg.SwitchDraw
+	s.commit(now, dirty, reagg)
+	s.statIncPasses++
+}
+
+// drainDirty folds the per-shard dirty-server lists into the per-device
+// dirty marks and marks every recharging rack (time-dependent draw).
+// Marking is idempotent and commutative, so shard order never matters.
+// Returns the dirty-server count.
+func (s *Sim) drainDirty() int {
+	dirty := 0
+	for w := range s.shardDirty {
+		for _, li := range s.shardDirty[w] {
+			if h := s.homeDev[li]; h >= 0 {
+				s.devDirty[h] = true
+			}
+		}
+		dirty += len(s.shardDirty[w])
+		s.shardDirty[w] = s.shardDirty[w][:0]
+	}
+	for rackID := range s.recharges {
+		s.devDirty[s.aggIdx[rackID]] = true
+	}
+	return dirty
+}
+
+// commit finalizes a global aggregation pass at time now.
+func (s *Sim) commit(now time.Duration, dirtyServers, reagg int) {
 	s.snap.at = now
 	s.snap.valid = true
-	s.snap.total = total
+	s.snap.version++
+	s.aggInit = true
+	s.statDirtyServers = dirtyServers
+	s.statReaggDevices = reagg
 }
 
 // refresh re-aggregates if the snapshot does not describe the current
@@ -185,42 +337,96 @@ func (s *Sim) refresh() {
 	}
 }
 
+// refreshDevice brings one device's snapshot entry (and its whole device
+// subtree) to the current loop time without rebuilding — or even globally
+// re-aggregating — the rest of the snapshot: only the dirty devices
+// inside the queried subtree's contiguous post-order range are
+// recomputed. snap.at is left untouched, so the next global refresh still
+// runs; ancestors a partial refresh dirtied are picked up then.
+func (s *Sim) refreshDevice(i int) {
+	if !s.snap.valid || !s.aggInit {
+		s.refresh()
+		return
+	}
+	now := s.Loop.Now()
+	if s.snap.at == now {
+		return
+	}
+	s.drainDirty()
+	for j := s.agg[i].subLo; j <= i; j++ {
+		if !s.devDirty[j] {
+			continue
+		}
+		s.devDirty[j] = false
+		sum := s.recomputeDev(j, now)
+		if sum != s.snap.dev[j] {
+			s.snap.dev[j] = sum
+			if p := s.agg[j].parent; p >= 0 {
+				s.devDirty[p] = true
+			}
+		}
+	}
+	s.statSubtreeRefreshes++
+}
+
 // invalidateSnapshot forces the next read to re-aggregate; called by
 // mutations that change device draw at the current instant (DCUPS
-// recharge start on restore).
-func (s *Sim) invalidateSnapshot() { s.snap.valid = false }
+// recharge start on restore). The dirty marks persist across the
+// invalidation, so the forced pass is still incremental: it recomputes
+// the recharging racks' chains, not the fleet.
+func (s *Sim) invalidateSnapshot() {
+	s.snap.valid = false
+	s.snap.totalValid = false
+}
 
 // tickServers advances every server's physics to now, sharded across the
-// worker pool. Each server is ticked exactly once by one goroutine;
-// servers are mutually independent (per-server generator RNG, shared
-// workload state pre-advanced and read-only during the step), so the
-// result is byte-identical to the serial loop at any worker count.
+// worker pool, and records each server whose draw moved beyond the
+// aggregation epsilon into the ticking shard's dirty list. Each server is
+// ticked exactly once by one goroutine; servers are mutually independent
+// (per-server generator RNG, shared workload state pre-advanced and
+// read-only during the step), and the dirty verdict is a pure function of
+// one server's draw, so the result is byte-identical to the serial loop
+// at any worker count.
 func (s *Sim) tickServers(now time.Duration) {
 	n := len(s.tickList)
 	w := s.workers
 	if w > n {
 		w = n
 	}
+	eps := s.Cfg.AggregationEpsilon
 	if w <= 1 || n < parallelTickMin {
-		for _, sv := range s.tickList {
+		shard := s.shardDirty[0]
+		for i, sv := range s.tickList {
 			sv.Tick(now)
+			if d := sv.Power() - s.lastAgg[i]; d > eps || d < -eps {
+				shard = append(shard, i)
+			}
 		}
+		s.shardDirty[0] = shard
 		return
 	}
 	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
+	shardNo := 0
 	for start := 0; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
 		wg.Add(1)
-		go func(list []*server.Server) {
+		go func(lo, hi, sh int) {
 			defer wg.Done()
-			for _, sv := range list {
+			shard := s.shardDirty[sh]
+			for i := lo; i < hi; i++ {
+				sv := s.tickList[i]
 				sv.Tick(now)
+				if d := sv.Power() - s.lastAgg[i]; d > eps || d < -eps {
+					shard = append(shard, i)
+				}
 			}
-		}(s.tickList[start:end])
+			s.shardDirty[sh] = shard
+		}(start, end, shardNo)
+		shardNo++
 	}
 	wg.Wait()
 }
@@ -262,4 +468,19 @@ func (s *Sim) devicePowerWalk(devID topology.NodeID) power.Watts {
 		}
 	})
 	return sum
+}
+
+// AggregationStats reports the incremental pipeline's work counters as of
+// the last committed pass.
+func (s *Sim) AggregationStats() AggregationStats {
+	return AggregationStats{
+		DirtyServers:        s.statDirtyServers,
+		ReaggregatedDevices: s.statReaggDevices,
+		Servers:             len(s.tickList),
+		Devices:             len(s.agg),
+		IncrementalPasses:   s.statIncPasses,
+		FullRebuilds:        s.statFullRebuilds,
+		SubtreeRefreshes:    s.statSubtreeRefreshes,
+		WorkloadActivity:    s.statWorkloadHint,
+	}
 }

@@ -51,20 +51,29 @@ func runDetScenario(t *testing.T, workers, ctrlWorkers int, tel *telemetry.Sink)
 // digest (nil when checkpointing is off).
 func runDetScenarioCkpt(t *testing.T, workers, ctrlWorkers int, tel *telemetry.Sink, ckpt bool) (fingerprint, map[string][]uint64) {
 	t.Helper()
+	return runDetScenarioOpts(t, workers, ctrlWorkers, tel, ckpt, 0, false)
+}
+
+// runDetScenarioOpts additionally exposes the aggregation epsilon and the
+// full-rebuild oracle knob.
+func runDetScenarioOpts(t *testing.T, workers, ctrlWorkers int, tel *telemetry.Sink, ckpt bool, eps power.Watts, fullAgg bool) (fingerprint, map[string][]uint64) {
+	t.Helper()
 	spec := detSpec()
 	s, err := New(Config{
-		Spec:              spec,
-		Seed:              42,
-		EnableDynamo:      true,
-		ValidatorInterval: 30 * time.Second,
-		TickWorkers:       workers,
-		ControlWorkers:    ctrlWorkers,
-		Telemetry:         tel,
-		Checkpoint:        ckpt,
+		Spec:               spec,
+		Seed:               42,
+		EnableDynamo:       true,
+		ValidatorInterval:  30 * time.Second,
+		TickWorkers:        workers,
+		ControlWorkers:     ctrlWorkers,
+		Telemetry:          tel,
+		Checkpoint:         ckpt,
+		AggregationEpsilon: eps,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.useFullAgg = fullAgg
 	rpp := s.Topo.OfKind(topology.KindRPP)[0]
 	s.Record(5*time.Second, rpp.ID, rpp.Parent.ID)
 	s.At(2*time.Minute, func() { s.SetExtraLoadUnder(rpp.ID, 0.9) })
@@ -129,6 +138,24 @@ func TestSimDeterminismGolden(t *testing.T) {
 	// Telemetry must not perturb outcomes at any parallelism.
 	check("telemetry/ctrl-4", runDetScenario(t, 8, 4, telemetry.NewSink()))
 	check("telemetry/ctrl-16", runDetScenario(t, 4, 16, telemetry.NewSink()))
+
+	// The epsilon=0 incremental path (the default above) must be
+	// bit-identical to the retained full O(N) rebuild — the incremental
+	// scheme's oracle — at any worker count.
+	fullSerial, _ := runDetScenarioOpts(t, 1, 1, nil, false, 0, true)
+	check("full-rebuild/serial", fullSerial)
+	full84, _ := runDetScenarioOpts(t, 8, 4, nil, false, 0, true)
+	check("full-rebuild/tick-8/ctrl-4", full84)
+
+	// epsilon > 0 trades accuracy, not determinism: runs sharing an
+	// epsilon must stay byte-identical to each other across worker counts
+	// (they legitimately diverge from the epsilon=0 baseline).
+	epsBase, _ := runDetScenarioOpts(t, 1, 1, nil, false, 5, false)
+	eps84, _ := runDetScenarioOpts(t, 8, 4, nil, false, 5, false)
+	eps316, _ := runDetScenarioOpts(t, 3, 16, nil, false, 5, false)
+	if !reflect.DeepEqual(epsBase, eps84) || !reflect.DeepEqual(epsBase, eps316) {
+		t.Error("epsilon=5 runs diverge across worker counts; epsilon must not break determinism")
+	}
 
 	// Checkpointing must not perturb outcomes either (the act-phase
 	// ordering rule), and the store's streams must themselves be

@@ -89,6 +89,15 @@ type Config struct {
 	// are byte-identical at any setting — servers are independent once
 	// the per-service shared workload state is pre-advanced each tick.
 	TickWorkers int
+	// AggregationEpsilon gates incremental re-aggregation: a server is
+	// marked dirty (its home device's ancestor chain re-aggregated) only
+	// when its draw moved more than this many watts since the value last
+	// committed into the snapshot. 0 (the default) re-aggregates on any
+	// bitwise change, keeping snapshots bit-identical to a full rebuild;
+	// a small positive value trades a bounded per-device error (at most
+	// epsilon × servers in the device's subtree) for touching fewer
+	// devices on quiescent ticks.
+	AggregationEpsilon power.Watts
 	// ControlWorkers bounds the worker pool for the controller cohort
 	// scheduler's observe+decide phases (all controllers due at the same
 	// virtual instant). 0 uses GOMAXPROCS; 1 batches cohorts but runs
@@ -189,6 +198,29 @@ type Sim struct {
 	// subtree-walk oracle instead of the snapshot; test-only knob proving
 	// the refactor preserved behaviour.
 	useOracle bool
+	// useFullAgg forces every aggregation pass down the full-rebuild
+	// path; test-only knob keeping the old O(N) pass as the incremental
+	// scheme's cross-check oracle.
+	useFullAgg bool
+	// aggInit flips true once the first full pass has initialized
+	// lastAgg; until then every aggregate dispatches to the full rebuild.
+	aggInit bool
+	// Incremental aggregation state (see aggregate.go): per-tickList-index
+	// last committed draw and home-device snapshot index (-1 when no
+	// device encloses the server), per-shard dirty-server lists filled by
+	// the sharded physics pass, and per-device dirty marks consumed by the
+	// serial incremental pass.
+	lastAgg    []power.Watts
+	homeDev    []int
+	shardDirty [][]int
+	devDirty   []bool
+	// Quiescence counters of the last committed pass (AggregationStats).
+	statDirtyServers     int
+	statReaggDevices     int
+	statIncPasses        uint64
+	statFullRebuilds     uint64
+	statSubtreeRefreshes uint64
+	statWorkloadHint     float64
 
 	recorded    map[topology.NodeID]*metrics.Series
 	recordEvery time.Duration
@@ -213,6 +245,8 @@ type Sim struct {
 	tel         *telemetry.Sink // nil when disabled
 	tripCount   *telemetry.Counter
 	cappedGauge *telemetry.Gauge
+	dirtyGauge  *telemetry.Gauge
+	reaggGauge  *telemetry.Gauge
 }
 
 // New builds a simulation. Servers are assigned per-service shared
@@ -259,6 +293,8 @@ func New(cfg Config) (*Sim, error) {
 		}
 		s.tripCount = cfg.Telemetry.Counter("dynamo_sim_breaker_trips_total", "scenario", scenario)
 		s.cappedGauge = cfg.Telemetry.Gauge("dynamo_sim_capped_servers", "scenario", scenario)
+		s.dirtyGauge = cfg.Telemetry.Gauge("dynamo_sim_dirty_servers", "scenario", scenario)
+		s.reaggGauge = cfg.Telemetry.Gauge("dynamo_sim_reaggregated_devices", "scenario", scenario)
 	}
 
 	sensorless := map[string]bool{}
@@ -517,9 +553,15 @@ func (s *Sim) Mark(format string, args ...interface{}) {
 //     no O(N) loop-goroutine work anywhere on the hot path.
 func (s *Sim) tick() {
 	now := s.Loop.Now()
+	hint := 0.0
 	for _, svc := range s.sharedOrder {
-		s.Shared[svc].Advance(now)
+		sh := s.Shared[svc]
+		sh.Advance(now)
+		if h := sh.TickHint(); h > hint {
+			hint = h
+		}
 	}
+	s.statWorkloadHint = hint
 	s.tickServers(now)
 	s.aggregate(now)
 	if s.useOracle {
@@ -581,6 +623,8 @@ func (s *Sim) tick() {
 	}
 	if s.tel != nil {
 		s.cappedGauge.Set(float64(s.CappedServerCount()))
+		s.dirtyGauge.Set(float64(s.statDirtyServers))
+		s.reaggGauge.Set(float64(s.statReaggDevices))
 	}
 }
 
@@ -598,12 +642,13 @@ func (s *Sim) outage(devID topology.NodeID) {
 
 // DevicePower returns the instantaneous true power at a device: the sum
 // of all downstream servers plus top-of-rack switches. For devices this
-// is a snapshot lookup (re-aggregated on demand if the snapshot is stale
-// for the current loop time); non-device nodes fall back to the subtree
-// oracle.
+// is a snapshot lookup; when the snapshot is stale for the current loop
+// time only the queried device's subtree is re-aggregated (refreshDevice)
+// rather than rebuilding the fleet-wide snapshot. Non-device nodes fall
+// back to the subtree oracle.
 func (s *Sim) DevicePower(devID topology.NodeID) power.Watts {
 	if i, ok := s.aggIdx[devID]; ok {
-		s.refresh()
+		s.refreshDevice(i)
 		return s.snap.dev[i]
 	}
 	return s.devicePowerWalk(devID)
@@ -689,11 +734,28 @@ func isAncestorOf(root, candidate *topology.Node) bool {
 
 // TotalPower returns the whole data center's true draw: every server plus
 // the constant draw of non-cappable switches (cappable switches are
-// counted as servers). Served from the per-tick snapshot.
+// counted as servers). Computed lazily in fixed server order — the
+// per-tick aggregation no longer pays for an O(N) fleet sum nobody reads
+// — and cached per loop timestamp.
 func (s *Sim) TotalPower() power.Watts {
 	s.refresh()
+	if now := s.Loop.Now(); !s.snap.totalValid || s.snap.totalAt != now {
+		var sum power.Watts
+		for _, sv := range s.tickList {
+			sum += sv.Power()
+		}
+		sum += power.Watts(s.constSwitches) * s.Cfg.SwitchDraw
+		s.snap.total = sum
+		s.snap.totalAt = now
+		s.snap.totalValid = true
+	}
 	return s.snap.total
 }
+
+// SnapshotVersion returns the monotonically increasing version of the
+// power snapshot; it bumps once per committed aggregation pass, so
+// consumers caching snapshot-derived state can detect change cheaply.
+func (s *Sim) SnapshotVersion() uint64 { return s.snap.version }
 
 // Record starts sampling the given devices' true power every interval.
 func (s *Sim) Record(interval time.Duration, devices ...topology.NodeID) {
@@ -841,6 +903,19 @@ func (s *Sim) Observations() []monitor.Observation {
 		})
 	}
 	return out
+}
+
+// QuiescenceSample converts the last tick's aggregation work counters
+// into the monitor's quiescence shape, ready for ObserveQuiescence.
+func (s *Sim) QuiescenceSample() monitor.Quiescence {
+	st := s.AggregationStats()
+	return monitor.Quiescence{
+		DirtyServers:        st.DirtyServers,
+		Servers:             st.Servers,
+		ReaggregatedDevices: st.ReaggregatedDevices,
+		Devices:             st.Devices,
+		WorkloadActivity:    st.WorkloadActivity,
+	}
 }
 
 // TrippedDevices lists devices whose breakers have tripped.

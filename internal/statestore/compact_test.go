@@ -1,0 +1,131 @@
+package statestore
+
+import (
+	"testing"
+
+	"dynamo/internal/simclock"
+)
+
+// appendCycles drives a writer through n cycles with its usual
+// snapshot-every cadence, calling onAppend after each append.
+func appendCycles(t *testing.T, w *Writer, from, n uint64, onAppend func(cyc uint64)) {
+	t.Helper()
+	for cyc := from; cyc < from+n; cyc++ {
+		kind := KindDelta
+		if w.SnapshotDue() {
+			kind = KindSnapshot
+		}
+		if err := w.Append(kind, cyc, []byte{byte(cyc)}); err != nil {
+			t.Fatalf("append cycle %d: %v", cyc, err)
+		}
+		if onAppend != nil {
+			onAppend(cyc)
+		}
+	}
+}
+
+func retained(s *Store, dev string) []Entry {
+	ents, _ := s.EntriesFrom(dev, 1)
+	return ents
+}
+
+// TestCompactionAckGated covers the satellite's core semantics: with a
+// registered peer, pre-snapshot history is retained until the peer's
+// cumulative ack passes the snapshot; only then is it dropped.
+func TestCompactionAckGated(t *testing.T) {
+	loop := simclock.NewSimLoop()
+	s := NewStore(loop, "a", nil)
+	s.RegisterPeer("b")
+	w := s.NewWriter("rpp1", "primary")
+	w.SetSnapshotEvery(4)
+
+	// snap(1) d d d d snap(6) d d d d — an unacked peer holds everything.
+	appendCycles(t, w, 1, 10, nil)
+	if ents := retained(s, "rpp1"); len(ents) != 10 || ents[0].Seq != 1 {
+		t.Fatalf("retained %d entries from seq %d, want all 10 from 1 while peer is silent",
+			len(ents), ents[0].Seq)
+	}
+
+	// Acking up to (not past) the second snapshot still cannot drop it.
+	s.PeerAcked("b", "rpp1", 6)
+	if ents := retained(s, "rpp1"); len(ents) != 10 {
+		t.Fatalf("retained %d entries after partial ack, want 10", len(ents))
+	}
+
+	// Acking past the second snapshot drops the history it covers.
+	s.PeerAcked("b", "rpp1", 7)
+	ents := retained(s, "rpp1")
+	if len(ents) != 5 || ents[0].Seq != 6 || ents[0].Kind != KindSnapshot {
+		t.Fatalf("retained %+v, want 5 entries starting at snapshot seq 6", ents)
+	}
+
+	// Dropping the peer restores eager truncation on the next snapshot.
+	s.UnregisterPeer("b")
+	appendCycles(t, w, 11, 1, nil) // cycle 11 is a snapshot (every 4 deltas)
+	ents = retained(s, "rpp1")
+	if len(ents) != 1 || ents[0].Kind != KindSnapshot {
+		t.Fatalf("after unregister, retained %+v, want just the latest snapshot", ents)
+	}
+}
+
+// TestCompactionPlateauLongRun is the satellite's acceptance test: a
+// long-running primary with a steadily lagging (but acking) peer retains
+// a bounded window — entry count plateaus instead of growing with uptime.
+func TestCompactionPlateauLongRun(t *testing.T) {
+	loop := simclock.NewSimLoop()
+	s := NewStore(loop, "a", nil)
+	s.RegisterPeer("b")
+	w := s.NewWriter("rpp1", "primary")
+	w.SetSnapshotEvery(8)
+
+	const lag = 10
+	maxRetained := 0
+	appendCycles(t, w, 1, 1000, func(cyc uint64) {
+		if cyc%5 == 0 {
+			if next := s.NextSeq("rpp1"); next > lag {
+				s.PeerAcked("b", "rpp1", next-lag)
+			}
+		}
+		if cyc > 50 { // past warmup
+			if n := len(retained(s, "rpp1")); n > maxRetained {
+				maxRetained = n
+			}
+		}
+	})
+	// Window ≈ ack lag + one snapshot period; far below the 1000 appends.
+	if maxRetained == 0 || maxRetained > 32 {
+		t.Fatalf("retained window peaked at %d entries, want a plateau ≤ 32", maxRetained)
+	}
+	if ents := retained(s, "rpp1"); len(ents) == 0 || ents[0].Kind != KindSnapshot {
+		t.Fatalf("final window %+v, want to start at a snapshot", ents)
+	}
+}
+
+// TestCompactionMaxRetainBoundsDeadPeer: a registered peer that never
+// acks (dead or partitioned) cannot grow the store without bound — once
+// the window exceeds MaxRetain it is force-truncated at the newest
+// snapshot, and the peer falls back to snapshot catch-up.
+func TestCompactionMaxRetainBoundsDeadPeer(t *testing.T) {
+	loop := simclock.NewSimLoop()
+	s := NewStore(loop, "a", nil)
+	s.MaxRetain = 16
+	s.RegisterPeer("dead")
+	w := s.NewWriter("rpp1", "primary")
+	w.SetSnapshotEvery(4)
+
+	maxRetained := 0
+	appendCycles(t, w, 1, 400, func(uint64) {
+		if n := len(retained(s, "rpp1")); n > maxRetained {
+			maxRetained = n
+		}
+	})
+	// Compaction runs on snapshot appends, so the window can overshoot
+	// MaxRetain by at most one snapshot period before collapsing.
+	if limit := s.MaxRetain + 4; maxRetained > limit {
+		t.Fatalf("retained window peaked at %d entries with a dead peer, want ≤ %d", maxRetained, limit)
+	}
+	if ents := retained(s, "rpp1"); len(ents) > s.MaxRetain+4 || ents[0].Kind != KindSnapshot {
+		t.Fatalf("final window: %d entries starting with %v, want bounded and starting at a snapshot",
+			len(ents), ents[0].Kind)
+	}
+}

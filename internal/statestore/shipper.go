@@ -83,6 +83,9 @@ func NewShipper(loop simclock.Loop, store *Store, peers []Peer, cfg ShipperConfi
 	cfg.fillDefaults()
 	sh := &Shipper{cfg: cfg, loop: loop, store: store}
 	for _, p := range peers {
+		// Registered peers gate the store's compaction: history before a
+		// snapshot is retained until this peer's cumulative ack passes it.
+		store.RegisterPeer(p.Name)
 		ps := &peerState{
 			name:   p.Name,
 			client: p.Client,
@@ -202,6 +205,7 @@ func (sh *Shipper) ship(p *peerState) {
 		}
 		for _, a := range ack.Acks {
 			p.next[a.Device] = a.NextSeq
+			sh.store.PeerAcked(p.name, a.Device, a.NextSeq)
 			if a.Fenced && !p.fenced[a.Device] {
 				p.fenced[a.Device] = true
 				if p.fenceCt != nil {

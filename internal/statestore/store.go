@@ -115,6 +115,10 @@ type stream struct {
 	entries  []Entry
 }
 
+// DefaultMaxRetain is the per-device retained-entry bound installed by
+// NewStore. See Store.MaxRetain.
+const DefaultMaxRetain = 4096
+
 // Store holds the checkpoint streams of many devices. Like the
 // controllers, it is confined to its event loop: all methods (including
 // the RPC handler, which transports wrap with rpc.LoopHandler) must run on
@@ -125,6 +129,22 @@ type Store struct {
 
 	streams map[string]*stream
 	devices []string // sorted, for deterministic iteration
+
+	// peers maps each registered replication peer to its per-device
+	// cumulative acks (the NextSeq each ack carried). Registered peers
+	// gate compaction: pre-snapshot history is retained until every
+	// peer's ack passes the snapshot, so a lagging replica can catch up
+	// on deltas instead of a snapshot reset. With no registered peers a
+	// snapshot truncates eagerly — the original behavior.
+	peers map[string]map[string]uint64
+
+	// MaxRetain bounds retained entries per device when a registered peer
+	// stops acking (dead or partitioned): once a stream holds more than
+	// MaxRetain entries, it is force-truncated at its newest snapshot
+	// regardless of acks, and the lagging peer heals through the
+	// snapshot catch-up path instead. 0 disables the bound. NewStore
+	// installs DefaultMaxRetain.
+	MaxRetain int
 
 	tel *storeInstr
 }
@@ -144,7 +164,12 @@ type storeInstr struct {
 // hosting several stores (e.g. tests) keeps them distinguishable; the sink
 // may be nil, which disables all instrumentation.
 func NewStore(loop simclock.Loop, name string, tel *telemetry.Sink) *Store {
-	s := &Store{loop: loop, name: name, streams: map[string]*stream{}}
+	s := &Store{
+		loop: loop, name: name,
+		streams:   map[string]*stream{},
+		peers:     map[string]map[string]uint64{},
+		MaxRetain: DefaultMaxRetain,
+	}
 	if tel.Enabled() {
 		lb := []string{"store", name}
 		s.tel = &storeInstr{
@@ -237,15 +262,102 @@ func (s *Store) Append(e Entry) error {
 	return nil
 }
 
-// apply commits an entry already validated against st.
+// apply commits an entry already validated against st. Retained entries
+// are always seq-contiguous: a snapshot arriving out of sequence (replica
+// catch-up) resets the stream, while an in-sequence snapshot is appended
+// and compaction decides how much history before it may be dropped.
 func (s *Store) apply(st *stream, e Entry) {
-	if e.Kind == KindSnapshot {
+	if e.Kind == KindSnapshot && e.Seq != st.nextSeq {
 		st.entries = append(st.entries[:0], e)
 		st.firstSeq = e.Seq
-	} else {
-		st.entries = append(st.entries, e)
+		st.nextSeq = e.Seq + 1
+		return
 	}
+	st.entries = append(st.entries, e)
 	st.nextSeq = e.Seq + 1
+	if e.Kind == KindSnapshot {
+		s.compact(e.Device, st)
+	}
+}
+
+// RegisterPeer declares a replication peer whose cumulative acks gate
+// compaction; NewShipper registers its peers automatically. Until the
+// peer acks past a snapshot, the history before that snapshot is
+// retained so the peer can catch up on deltas.
+func (s *Store) RegisterPeer(name string) {
+	if _, ok := s.peers[name]; !ok {
+		s.peers[name] = map[string]uint64{}
+	}
+}
+
+// UnregisterPeer removes a peer from compaction gating and re-compacts
+// every stream its lagging acks may have been holding back.
+func (s *Store) UnregisterPeer(name string) {
+	if _, ok := s.peers[name]; !ok {
+		return
+	}
+	delete(s.peers, name)
+	for _, dev := range s.devices {
+		s.compact(dev, s.streams[dev])
+	}
+	if s.tel != nil {
+		s.tel.entries.Set(float64(s.totalEntries()))
+	}
+}
+
+// PeerAcked records a peer's cumulative ack for one device (the NextSeq
+// it reported) and compacts the device's stream — a late ack may newly
+// cover a snapshot. The shipper calls this as acks arrive.
+func (s *Store) PeerAcked(peer, device string, nextSeq uint64) {
+	acks, ok := s.peers[peer]
+	if !ok {
+		return
+	}
+	if nextSeq > acks[device] {
+		acks[device] = nextSeq
+	}
+	if st := s.streams[device]; st != nil {
+		s.compact(device, st)
+		if s.tel != nil {
+			s.tel.entries.Set(float64(s.totalEntries()))
+		}
+	}
+}
+
+// compact drops retained history that is no longer needed: everything
+// before the newest snapshot that every registered peer's cumulative ack
+// has passed. With no registered peers every snapshot qualifies, so the
+// stream collapses to its latest snapshot plus subsequent deltas (the
+// original eager behavior). When MaxRetain is exceeded — a registered
+// peer stopped acking — the stream is force-truncated at its newest
+// snapshot and the peer falls back to snapshot catch-up.
+func (s *Store) compact(device string, st *stream) {
+	if len(st.entries) == 0 {
+		return
+	}
+	// floor: entries with Seq < floor are acked by every registered peer.
+	floor := st.nextSeq
+	for _, acks := range s.peers {
+		if next := acks[device]; next < floor {
+			floor = next
+		}
+	}
+	cut := -1
+	forced := s.MaxRetain > 0 && len(st.entries) > s.MaxRetain
+	for i := len(st.entries) - 1; i >= 0; i-- {
+		if st.entries[i].Kind != KindSnapshot {
+			continue
+		}
+		if st.entries[i].Seq < floor || forced {
+			cut = i
+			break
+		}
+	}
+	if cut <= 0 {
+		return
+	}
+	st.entries = append(st.entries[:0], st.entries[cut:]...)
+	st.firstSeq = st.entries[0].Seq
 }
 
 // EntriesFrom returns a copy of the retained entries with Seq >= from

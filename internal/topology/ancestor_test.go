@@ -1,0 +1,110 @@
+package topology
+
+import "testing"
+
+// nearestDeviceAncestor walks parent pointers to the first device strictly
+// above n — the reference implementation of the precomputed index.
+func nearestDeviceAncestor(n *Node) *Node {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p.IsDevice() {
+			return p
+		}
+	}
+	return nil
+}
+
+// inSubtree reports whether m lies in the subtree rooted at n.
+func inSubtree(n, m *Node) bool {
+	for p := m; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAncestorIndexDeviceOrder(t *testing.T) {
+	topo, err := DefaultSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := topo.DevicesPostOrder()
+	if len(post) == 0 {
+		t.Fatal("no devices")
+	}
+	for i, n := range post {
+		if n.DeviceIndex() != i {
+			t.Fatalf("%s: DeviceIndex %d, want post-order position %d", n.ID, n.DeviceIndex(), i)
+		}
+		if got := n.ParentDevice(); got != nearestDeviceAncestor(n) {
+			t.Errorf("%s: ParentDevice mismatch", n.ID)
+		}
+	}
+}
+
+func TestDeviceSubtreeRangeIsMembership(t *testing.T) {
+	topo, err := DefaultSpec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := topo.DevicesPostOrder()
+	for _, n := range post {
+		lo, hi, ok := n.DeviceSubtreeRange()
+		if !ok || hi != n.DeviceIndex() {
+			t.Fatalf("%s: range (%d,%d,%v), want hi == own index %d", n.ID, lo, hi, ok, n.DeviceIndex())
+		}
+		// The contiguous index range is exactly subtree membership.
+		for j, m := range post {
+			inRange := j >= lo && j <= hi
+			if inRange != inSubtree(n, m) {
+				t.Fatalf("%s: device %s (index %d) range-membership %v != subtree-membership %v",
+					n.ID, m.ID, j, inRange, inSubtree(n, m))
+			}
+		}
+	}
+	// Non-devices carry no index.
+	if idx := topo.Root.DeviceIndex(); idx != -1 {
+		t.Errorf("root DeviceIndex = %d, want -1", idx)
+	}
+	if _, _, ok := topo.Root.DeviceSubtreeRange(); ok {
+		t.Error("root DeviceSubtreeRange ok, want false")
+	}
+}
+
+func TestHomeDeviceMatchesDirectLeaves(t *testing.T) {
+	spec := DefaultSpec()
+	spec.SwitchPerRack = true
+	topo, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := append([]*Node{}, topo.Servers()...)
+	leaves = append(leaves, topo.OfKind(KindSwitch)...)
+	for _, l := range leaves {
+		h := l.HomeDevice()
+		if h != nearestDeviceAncestor(l) {
+			t.Fatalf("%s: HomeDevice mismatch with nearest device ancestor", l.ID)
+		}
+		if h == nil {
+			continue
+		}
+		found := false
+		for _, dl := range h.DirectLeaves() {
+			if dl == l {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: not among home device %s's direct leaves", l.ID, h.ID)
+		}
+	}
+	// Every device's direct leaves point back home.
+	for _, d := range topo.DevicesPostOrder() {
+		for _, l := range d.DirectLeaves() {
+			if l.HomeDevice() != d {
+				t.Fatalf("%s: direct leaf %s has home %v", d.ID, l.ID, l.HomeDevice())
+			}
+		}
+	}
+}

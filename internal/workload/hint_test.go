@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTickHintTracksMovement(t *testing.T) {
+	sh := NewShared(MustLookup("web"), 1)
+	sh.Advance(0)
+	if h := sh.TickHint(); h != 0 {
+		t.Fatalf("hint before any movement = %v, want 0", h)
+	}
+	sh.Advance(time.Second)
+	h := sh.TickHint()
+	if h <= 0 {
+		t.Fatalf("hint after an advance = %v, want > 0", h)
+	}
+	// Re-advancing to the same timestamp is a no-op for the hint too.
+	sh.Advance(time.Second)
+	if got := sh.TickHint(); got != h {
+		t.Fatalf("hint changed on same-timestamp advance: %v -> %v", h, got)
+	}
+}
+
+func TestTickHintSeesLoadFactorShift(t *testing.T) {
+	sh := NewShared(MustLookup("f4storage"), 2)
+	sh.Advance(0)
+	sh.Advance(time.Second)
+	baseline := sh.TickHint()
+	sh.SetLoadFactor(2.0) // a big scenario shift
+	sh.Advance(2 * time.Second)
+	if got := sh.TickHint(); got <= baseline+0.1 {
+		t.Fatalf("hint after doubling load factor = %v, want well above baseline %v", got, baseline)
+	}
+}
+
+func TestTickHintConsumesNoRandomness(t *testing.T) {
+	prof := MustLookup("newsfeed")
+	mk := func() (*Shared, *Generator) {
+		sh := NewShared(prof, 7)
+		return sh, NewGenerator(sh, 9)
+	}
+	shA, genA := mk()
+	_, genB := mk()
+	for i := 1; i <= 120; i++ {
+		now := time.Duration(i) * time.Second
+		shA.Advance(now)
+		_ = shA.TickHint() // reading the hint must not perturb the stream
+		a := genA.Step(now)
+		b := genB.Step(now)
+		if a != b {
+			t.Fatalf("step %d: utilization diverged %v vs %v once hints were read", i, a, b)
+		}
+	}
+}
