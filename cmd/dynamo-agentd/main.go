@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dynamo/internal/agent"
+	"dynamo/internal/config"
 	"dynamo/internal/platform"
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
@@ -42,8 +43,18 @@ func main() {
 	platName := flag.String("platform", "msr", "platform backend: msr, ipmi, or estimated")
 	seed := flag.Int64("seed", 1, "seed for workload and sensor noise")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP exposition address for /metrics, /debug/state, /healthz (empty: disabled)")
-	capLeaseTTL := flag.Duration("cap-lease-ttl", 15*time.Second, "release a cap whose lease is not renewed within this TTL (fail-safe against a dead controller); 0 disables")
+	capLeaseTTL := flag.Duration("cap-lease-ttl", 15*time.Second, "release a cap whose lease is not renewed within this TTL (fail-safe against a dead controller; must be > 0)")
 	flag.Parse()
+
+	var fc config.FlagCheck
+	fc.PositiveDuration("cap-lease-ttl", *capLeaseTTL)
+	if *load != -1 {
+		fc.NonNegativeFloat("load", *load)
+	}
+	if err := fc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	logger := telemetry.NewLogger(os.Stdout, "dynamo-agentd")
 

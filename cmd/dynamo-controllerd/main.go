@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"dynamo/internal/config"
 	"dynamo/internal/core"
 	"dynamo/internal/power"
 	"dynamo/internal/rpc"
@@ -58,7 +59,7 @@ func main() {
 	rpcRetries := flag.Int("rpc-retries", 2, "bounded retries per failed agent RPC (0: single attempt)")
 	rpcRetryBackoff := flag.Duration("rpc-retry-backoff", 100*time.Millisecond, "base backoff between RPC retries (doubles per attempt, jittered)")
 	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive failed pulls before an agent is quarantined (0: disabled)")
-	capLeaseTTL := flag.Duration("cap-lease-ttl", 12*time.Second, "cap lease attached to SetCap and renewed each cycle; 0 sends unleased caps")
+	capLeaseTTL := flag.Duration("cap-lease-ttl", 12*time.Second, "cap lease attached to SetCap and renewed each cycle (must be > 0)")
 	storeListen := flag.String("store-listen", "", "TCP address serving this daemon's state store to peers (empty: not served)")
 	storePeers := flag.String("store-peers", "", "comma-separated host:port list of peer state stores to replicate checkpoints to")
 	storeInterval := flag.Duration("store-interval", time.Second, "checkpoint replication cadence")
@@ -68,6 +69,24 @@ func main() {
 	failMisses := flag.Int("failover-misses", 3, "consecutive probe failures before the backup promotes")
 	failJitter := flag.Float64("failover-jitter", 0.1, "probe interval jitter fraction (0..0.5)")
 	flag.Parse()
+
+	var fc config.FlagCheck
+	fc.PositiveFloat("limit", *limit)
+	fc.NonNegativeFloat("quota", *quota)
+	fc.NonNegativeDuration("poll", *poll)
+	fc.NonNegativeDuration("rpc-timeout", *rpcTimeout)
+	fc.NonNegativeInt("rpc-retries", *rpcRetries)
+	fc.NonNegativeDuration("rpc-retry-backoff", *rpcRetryBackoff)
+	fc.NonNegativeInt("quarantine-after", *quarantineAfter)
+	fc.PositiveDuration("cap-lease-ttl", *capLeaseTTL)
+	fc.PositiveDuration("store-interval", *storeInterval)
+	fc.PositiveDuration("failover-interval", *failInterval)
+	fc.PositiveInt("failover-misses", *failMisses)
+	fc.FloatInRange("failover-jitter", *failJitter, 0, 0.5)
+	if err := fc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *backup && *primaryAddr == "" {
 		fmt.Fprintln(os.Stderr, "-backup requires -primary")

@@ -6,6 +6,7 @@
 //
 //	dynamo-sim [-servers 960] [-hours 24] [-seed 1] [-dynamo=true]
 //	           [-oversubscribe 1.0] [-surge-at -1] [-full] [-agg-epsilon 0]
+//	           [-tick-workers 0] [-control-workers 0]
 //
 // -oversubscribe shrinks every breaker rating by the given factor,
 // emulating aggressive power subscription; -surge-at injects a traffic
@@ -18,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"dynamo/internal/config"
 	"dynamo/internal/monitor"
 	"dynamo/internal/power"
 	"dynamo/internal/sim"
@@ -34,7 +36,21 @@ func main() {
 	full := flag.Bool("full", false, "build the full 30 MW paper topology (overrides -servers)")
 	aggEps := flag.Float64("agg-epsilon", 0,
 		"incremental aggregation epsilon in watts: servers whose draw moved less than this since the last committed snapshot are skipped by re-aggregation (0 = exact, bit-identical to a full rebuild)")
+	tickWorkers := flag.Int("tick-workers", 0, "worker pool size for the per-server physics step (0: one per CPU); results are byte-identical at any setting")
+	ctrlWorkers := flag.Int("control-workers", 0, "worker pool size for controller observe+decide phases (0: one per CPU); results are byte-identical at any setting")
 	flag.Parse()
+
+	var fc config.FlagCheck
+	fc.PositiveInt("servers", *servers)
+	fc.PositiveFloat("hours", *hours)
+	fc.PositiveFloat("oversubscribe", *oversub)
+	fc.NonNegativeFloat("agg-epsilon", *aggEps)
+	fc.NonNegativeInt("tick-workers", *tickWorkers)
+	fc.NonNegativeInt("control-workers", *ctrlWorkers)
+	if err := fc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	spec := topology.DefaultSpec()
 	if *full {
@@ -52,6 +68,8 @@ func main() {
 		Spec: spec, Seed: *seed, EnableDynamo: *dynamo,
 		ValidatorInterval:  time.Minute,
 		AggregationEpsilon: power.Watts(*aggEps),
+		TickWorkers:        *tickWorkers,
+		ControlWorkers:     *ctrlWorkers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

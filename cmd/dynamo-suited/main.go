@@ -44,10 +44,23 @@ func main() {
 	rpcRetries := flag.Int("rpc-retries", 2, "bounded retries per failed agent/child RPC (0: single attempt)")
 	rpcRetryBackoff := flag.Duration("rpc-retry-backoff", 100*time.Millisecond, "base backoff between RPC retries (doubles per attempt, jittered)")
 	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive failed pulls before a leaf quarantines an agent (0: disabled)")
-	capLeaseTTL := flag.Duration("cap-lease-ttl", 12*time.Second, "cap lease attached to SetCap and renewed each cycle; 0 sends unleased caps")
+	capLeaseTTL := flag.Duration("cap-lease-ttl", 12*time.Second, "cap lease attached to SetCap and renewed each cycle (must be > 0)")
 	aggEps := flag.Float64("agg-epsilon", 0,
 		"quiescence epsilon in watts for status logging: a controller's status line is suppressed while its aggregate moved less than this since the last logged line (0: log every interval)")
 	flag.Parse()
+
+	var fc config.FlagCheck
+	fc.PositiveDuration("store-interval", *storeInterval)
+	fc.NonNegativeDuration("rpc-timeout", *rpcTimeout)
+	fc.NonNegativeInt("rpc-retries", *rpcRetries)
+	fc.NonNegativeDuration("rpc-retry-backoff", *rpcRetryBackoff)
+	fc.NonNegativeInt("quarantine-after", *quarantineAfter)
+	fc.PositiveDuration("cap-lease-ttl", *capLeaseTTL)
+	fc.NonNegativeFloat("agg-epsilon", *aggEps)
+	if err := fc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	logger := telemetry.NewLogger(os.Stdout, "dynamo-suited")
 

@@ -1,0 +1,37 @@
+// Command dynamo-vet is the multichecker for Dynamo's determinism-contract
+// analyzers. It speaks the `go vet -vettool` unitchecker protocol:
+//
+//	go build -o bin/dynamo-vet ./cmd/dynamo-vet
+//	go vet -vettool=$(pwd)/bin/dynamo-vet ./...
+//
+// Active analyzers:
+//
+//	wallclock   — no wall-clock time in determinism-critical packages
+//	globalrand  — no global math/rand source outside tests
+//	maporder    — no map-iteration order feeding ordered outputs
+//	serialphase — no goroutines/channel sends in //dynamo:serial functions
+//	sinkguard   — nil guards on nil-means-disabled telemetry wrappers
+//
+// Findings are suppressible only via `//lint:allow <rule> — <reason>` with
+// a mandatory reason; see internal/lint.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"dynamo/internal/lint/globalrand"
+	"dynamo/internal/lint/maporder"
+	"dynamo/internal/lint/serialphase"
+	"dynamo/internal/lint/sinkguard"
+	"dynamo/internal/lint/wallclock"
+)
+
+func main() {
+	unitchecker.Main(
+		wallclock.Analyzer,
+		globalrand.Analyzer,
+		maporder.Analyzer,
+		serialphase.Analyzer,
+		sinkguard.Analyzer,
+	)
+}

@@ -169,6 +169,8 @@ func buildCheckpoint(snapshot bool, j *Journal, rec DecisionRecord, cycles uint6
 // shared by Leaf and Upper and runs in the act phase. The returned fenced
 // flag is true when the stream has been adopted by a promoted backup — the
 // calling controller is a zombie and must stop actuating.
+//
+//dynamo:serial
 func writeCheckpoint(w *statestore.Writer, j *Journal, rec DecisionRecord, cycles uint64,
 	lastAction Action, contract power.Watts, pid *pidState) (fenced bool, err error) {
 	if w == nil || w.Fenced() {

@@ -62,6 +62,8 @@ func NewJournal(n int) *Journal {
 }
 
 // Add appends a record, evicting the oldest when full.
+//
+//dynamo:serial
 func (j *Journal) Add(r DecisionRecord) {
 	if len(j.recs) < j.cap {
 		j.recs = append(j.recs, r)

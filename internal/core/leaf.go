@@ -582,6 +582,7 @@ func (l *Leaf) complete() {
 // happens here — those are act-phase effects.
 func (l *Leaf) runObserveDecide(now time.Duration) {
 	if l.tel != nil {
+		//lint:allow wallclock — wall-clock phase-latency for operator histograms; guarded by a tel nil-check and never feeds control decisions
 		defer l.tel.observeDone(time.Now())
 	}
 	l.cycles++
@@ -742,6 +743,8 @@ func (l *Leaf) runObserveDecide(now time.Duration) {
 // It always runs on the loop goroutine — journal and history writes,
 // alert emission, telemetry, and RPC sends all happen here, serially and
 // in fixed device order across the cohort.
+//
+//dynamo:serial
 func (l *Leaf) runAct(now time.Duration) {
 	p := &l.plan
 	defer func() {

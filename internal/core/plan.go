@@ -209,10 +209,12 @@ func planGroup(group []ServerState, cut power.Watts, bucket, slaFloor power.Watt
 			// contribute its remaining headroom above it.
 			floor = slaFloor
 			final = true
-			for e, ss := range byEdge {
-				if e < edge {
-					active = append(active, ss...)
-				}
+			// Descending edge order, matching the outer loop: iterating
+			// the byEdge map directly would admit the low-bucket servers
+			// in map order, and their position in active decides
+			// tie-breaks in distributeEven's water-filling sort.
+			for e := edge - 1; e >= 0; e-- {
+				active = append(active, byEdge[e]...)
 			}
 		}
 		rooms := make([]room, 0, len(active))

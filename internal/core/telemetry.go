@@ -127,6 +127,7 @@ func (in *ctrlInstr) invalidCycle(cycle uint64, start, now time.Duration, failur
 // the per-device compute cost whether the phase ran inline on the loop or
 // on a cohort worker.
 func (in *ctrlInstr) observeDone(start time.Time) {
+	//lint:allow wallclock — converts the wall-clock phase start into an operator histogram sample; callers pass time.Now() only under a tel nil-check
 	in.observeDur.Observe(time.Since(start).Seconds())
 }
 

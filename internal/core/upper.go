@@ -376,6 +376,7 @@ func (u *Upper) complete() {
 // state only; safe on a cohort worker.
 func (u *Upper) runObserveDecide(now time.Duration) {
 	if u.tel != nil {
+		//lint:allow wallclock — wall-clock phase-latency for operator histograms; guarded by a tel nil-check and never feeds control decisions
 		defer u.tel.observeDone(time.Now())
 	}
 	u.cycles++
@@ -489,6 +490,8 @@ func (u *Upper) runObserveDecide(now time.Duration) {
 
 // runAct applies the plan: journal and history writes, telemetry, alert
 // emission, and contract RPCs, serially on the loop goroutine.
+//
+//dynamo:serial
 func (u *Upper) runAct(now time.Duration) {
 	p := &u.plan
 	defer func() { u.cycleOpen = false }()
@@ -566,9 +569,16 @@ func (u *Upper) planCap(p *upperPlan, agg, target power.Watts) {
 	}
 	cuts := u.planChildCuts(needed)
 	u.holdoffUntil = u.cycles + 2
+	// Sum in sorted child order: float addition is not associative, and
+	// the achieved total feeds shortfall alerts and the journal.
+	ids := make([]string, 0, len(cuts))
+	for id := range cuts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var achieved power.Watts
-	for _, c := range cuts {
-		achieved += c
+	for _, id := range ids {
+		achieved += cuts[id]
 	}
 	shortfall := needed - achieved
 	if shortfall < 0 {

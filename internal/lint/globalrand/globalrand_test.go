@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"dynamo/internal/lint/globalrand"
+	"dynamo/internal/lint/linttest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), globalrand.Analyzer, "a")
+}

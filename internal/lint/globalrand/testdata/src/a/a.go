@@ -1,0 +1,39 @@
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func draws() {
+	_ = rand.Intn(10)     // want `globalrand: use of global math/rand.Intn`
+	_ = rand.Float64()    // want `globalrand: use of global math/rand.Float64`
+	_ = rand.Perm(4)      // want `globalrand: use of global math/rand.Perm`
+	rand.Shuffle(3, swap) // want `globalrand: use of global math/rand.Shuffle`
+
+	_ = randv2.IntN(10) // want `globalrand: use of global math/rand/v2.IntN`
+}
+
+func swap(i, j int) {}
+
+// Explicitly seeded instances are the sanctioned pattern.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(3, swap)
+	return r.Float64() + float64(r.Intn(10))
+}
+
+func seededV2(seed uint64) float64 {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.Float64()
+}
+
+func allowed() int {
+	//lint:allow globalrand — seeding irrelevance demonstrated for docs
+	return rand.Intn(3)
+}
+
+func badDirective() int {
+	//lint:allow globalrand // want `requires a reason`
+	return rand.Intn(3) // want `globalrand: use of global math/rand.Intn`
+}

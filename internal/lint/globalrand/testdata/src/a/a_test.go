@@ -1,0 +1,8 @@
+package a
+
+import "math/rand"
+
+// Tests may use the global source for non-reproducible fuzzing.
+func helperForTests() int {
+	return rand.Intn(100)
+}

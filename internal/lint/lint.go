@@ -1,0 +1,186 @@
+// Package lint holds the shared infrastructure for Dynamo's custom
+// go/analysis vet suite: the determinism-critical package classifier and
+// the //lint:allow suppression directive engine.
+//
+// The repository's correctness argument rests on a determinism contract —
+// same seed ⇒ byte-identical journals, snapshots, and store digests at any
+// TickWorkers/ControlWorkers/GOMAXPROCS. The analyzers under
+// internal/lint/... turn the rules that contract implies (no wall clock in
+// virtual-time code, no global math/rand, no unordered map iteration
+// feeding ordered outputs, no goroutines in serial phases, nil-guarded
+// telemetry instruments) into CI-gated static checks, run by
+// cmd/dynamo-vet via `go vet -vettool`.
+//
+// # Suppression
+//
+// A finding may be suppressed only with an explicit, reasoned directive on
+// the offending line or the line directly above it:
+//
+//	//lint:allow <rule> — <reason>
+//
+// The separator may be an em dash ("—") or a double hyphen ("--"); the
+// reason is mandatory. A directive without a reason is itself reported as
+// a violation, so every suppression in the tree documents why the rule
+// does not apply.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// CriticalPackages is the set of determinism-critical package names (the
+// final import-path element under dynamo/internal). Code in these packages
+// runs inside the virtual-time simulation or the control plane whose
+// decisions must be reproducible, so the wallclock and maporder analyzers
+// police them. telemetry and rpc transport internals are deliberately
+// absent: they are wall-clock-facing by design and sit outside the
+// deterministic core.
+var CriticalPackages = map[string]bool{
+	"sim":        true,
+	"core":       true,
+	"workload":   true,
+	"topology":   true,
+	"faults":     true,
+	"statestore": true,
+	"platform":   true,
+	"simclock":   true,
+}
+
+// Critical reports whether the import path names a determinism-critical
+// package. Classification is by final path element so that analyzer
+// testdata packages (e.g. "sim", "a/core") are policed the same way as
+// the real "dynamo/internal/sim".
+func Critical(pkgPath string) bool {
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		pkgPath = pkgPath[i+1:]
+	}
+	return CriticalPackages[pkgPath]
+}
+
+// PathBase returns the final element of an import path.
+func PathBase(pkgPath string) string {
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[i+1:]
+	}
+	return pkgPath
+}
+
+// allowRe matches "//lint:allow <rule>" with an optional separator and
+// reason; group 1 is the rule, group 2 the separator (if any), group 3 the
+// reason text.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+(\S+)\s*(—|--)?\s*(.*)$`)
+
+// Allow is one parsed //lint:allow directive.
+type Allow struct {
+	Rule   string    // rule name the directive suppresses
+	Reason string    // mandatory justification ("" when malformed)
+	Pos    token.Pos // position of the directive comment
+	Line   int       // line the directive appears on
+	File   string    // file the directive appears in
+}
+
+// ParseAllow parses a single comment; ok is false when the comment is not
+// a lint:allow directive at all.
+func ParseAllow(c *ast.Comment) (Allow, bool) {
+	m := allowRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return Allow{}, false
+	}
+	reason := strings.TrimSpace(m[3])
+	if m[2] == "" {
+		// No separator: the whole trailing text is not a reason
+		// ("//lint:allow maporder because" would be ambiguous). Require
+		// the explicit "—"/"--" so reasons are always delimited.
+		reason = ""
+	}
+	return Allow{Rule: m[1], Reason: reason, Pos: c.Pos()}, true
+}
+
+// Reporter filters an analyzer's diagnostics through the //lint:allow
+// directives of the package under analysis. Construct one per pass with
+// New; it immediately reports malformed directives (missing reason) for
+// its rule.
+type Reporter struct {
+	pass *analysis.Pass
+	rule string
+	// allowed maps "file:line" of every well-formed allow for this rule to
+	// the directive, covering both the directive's own line and the line
+	// after it (so a directive on its own line suppresses the statement
+	// below, and a trailing comment suppresses its own line).
+	allowed map[string]Allow
+}
+
+// New builds a Reporter for rule, scanning every file in the pass for
+// //lint:allow directives. Directives naming this rule without a reason
+// are reported right away — a suppression must say why.
+func New(pass *analysis.Pass, rule string) *Reporter {
+	r := &Reporter{pass: pass, rule: rule, allowed: make(map[string]Allow)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, ok := ParseAllow(c)
+				if !ok || a.Rule != rule {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				a.Line, a.File = p.Line, p.Filename
+				if a.Reason == "" {
+					pass.Reportf(c.Pos(),
+						"%s: //lint:allow %s directive requires a reason (\"//lint:allow %s — <why>\")",
+						rule, rule, rule)
+					continue
+				}
+				r.allowed[key(p.Filename, p.Line)] = a
+				r.allowed[key(p.Filename, p.Line+1)] = a
+			}
+		}
+	}
+	return r
+}
+
+func key(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	// strconv-free to keep the import list minimal in a hot helper.
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Suppressed reports whether a finding at pos is covered by a well-formed
+// //lint:allow directive for this rule.
+func (r *Reporter) Suppressed(pos token.Pos) bool {
+	p := r.pass.Fset.Position(pos)
+	_, ok := r.allowed[key(p.Filename, p.Line)]
+	return ok
+}
+
+// Reportf emits a diagnostic unless a //lint:allow directive for the rule
+// covers the position.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if r.Suppressed(pos) {
+		return
+	}
+	r.pass.Reportf(pos, format, args...)
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Most rules do
+// not apply to tests (tests may use wall time, ad-hoc randomness, etc.).
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

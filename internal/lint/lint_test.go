@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func parse(t *testing.T, text string) (Allow, bool) {
+	t.Helper()
+	return ParseAllow(&ast.Comment{Text: text})
+}
+
+func TestParseAllowRequiresReason(t *testing.T) {
+	cases := []struct {
+		comment string
+		rule    string
+		reason  string
+		isAllow bool
+	}{
+		{"//lint:allow wallclock — measures real latency", "wallclock", "measures real latency", true},
+		{"//lint:allow maporder -- digest sort downstream", "maporder", "digest sort downstream", true},
+		{"// lint:allow sinkguard — ctor guarantees non-nil", "sinkguard", "ctor guarantees non-nil", true},
+		// Missing or undelimited reasons parse as empty — the Reporter
+		// rejects these with a "requires a reason" diagnostic.
+		{"//lint:allow wallclock", "wallclock", "", true},
+		{"//lint:allow wallclock   ", "wallclock", "", true},
+		{"//lint:allow wallclock —", "wallclock", "", true},
+		{"//lint:allow wallclock --", "wallclock", "", true},
+		{"//lint:allow wallclock because reasons", "wallclock", "", true},
+		// Not directives at all.
+		{"// plain comment", "", "", false},
+		{"//lint:ignore wallclock — wrong verb", "", "", false},
+	}
+	for _, c := range cases {
+		a, ok := parse(t, c.comment)
+		if ok != c.isAllow {
+			t.Errorf("%q: isAllow=%v, want %v", c.comment, ok, c.isAllow)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if a.Rule != c.rule || a.Reason != c.reason {
+			t.Errorf("%q: parsed rule=%q reason=%q, want rule=%q reason=%q",
+				c.comment, a.Rule, a.Reason, c.rule, c.reason)
+		}
+	}
+}
+
+func TestCritical(t *testing.T) {
+	for path, want := range map[string]bool{
+		"dynamo/internal/sim":        true,
+		"dynamo/internal/core":       true,
+		"dynamo/internal/statestore": true,
+		"dynamo/internal/simclock":   true,
+		"dynamo/internal/telemetry":  false,
+		"dynamo/internal/rpc":        false,
+		"dynamo/internal/monitor":    false,
+		"sim":                        true,
+		"other":                      false,
+	} {
+		if got := Critical(path); got != want {
+			t.Errorf("Critical(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

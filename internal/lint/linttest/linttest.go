@@ -1,0 +1,264 @@
+// Package linttest is a compact analysistest replacement for running the
+// internal/lint analyzers over testdata packages.
+//
+// Layout mirrors golang.org/x/tools/go/analysis/analysistest: each
+// analyzer package has testdata/src/<pkg>/ directories containing small Go
+// packages annotated with trailing `// want "regex"` comments. Run loads a
+// package (resolving sibling testdata imports first and falling back to
+// the source-form stdlib importer), executes the analyzer and its
+// dependencies, and verifies that reported diagnostics and want
+// annotations match one-to-one by file and line.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run analyzes each named package under dir/src and reports mismatches
+// between diagnostics and `// want` annotations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, dir, a, pkg)
+	}
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, "src", path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, _, _, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and typechecks one testdata package.
+func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.root, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("linttest: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	l := &loader{root: dir, fset: token.NewFileSet(), pkgs: map[string]*types.Package{}}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	pkg, files, info, err := l.load(pkgPath)
+	if err != nil {
+		t.Errorf("%s: %v", pkgPath, err)
+		return
+	}
+
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]interface{})
+	if err := runAnalyzer(a, l.fset, files, pkg, info, results, &diags); err != nil {
+		t.Errorf("%s: analyzer failed: %v", pkgPath, err)
+		return
+	}
+
+	wants := collectWants(t, l.fset, files)
+	checkDiags(t, l.fset, pkgPath, diags, wants)
+}
+
+// runAnalyzer executes an analyzer after its Requires, sharing results.
+// Fact-using analyzers are not supported (none of ours use facts).
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, results map[*analysis.Analyzer]interface{}, diags *[]analysis.Diagnostic) error {
+	if _, done := results[a]; done {
+		return nil
+	}
+	for _, dep := range a.Requires {
+		if err := runAnalyzer(dep, fset, files, pkg, info, results, diags); err != nil {
+			return err
+		}
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   results,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, d)
+		},
+	}
+	if a == inspect.Analyzer {
+		results[a] = inspector.New(files)
+		return nil
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return err
+	}
+	results[a] = res
+	return nil
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a sequence of Go-quoted or backquoted strings.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if q, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, q)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+func checkDiags(t *testing.T, fset *token.FileSet, pkgPath string, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", pkgPath, filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", pkgPath, filepath.Base(w.file), w.line, w.text)
+		}
+	}
+}

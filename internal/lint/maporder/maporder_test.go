@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"dynamo/internal/lint/linttest"
+	"dynamo/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), maporder.Analyzer, "core", "other")
+}

@@ -1,0 +1,10 @@
+package other
+
+// Not determinism-critical: map-order appends are tolerated here.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

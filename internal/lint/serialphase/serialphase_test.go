@@ -1,0 +1,12 @@
+package serialphase_test
+
+import (
+	"testing"
+
+	"dynamo/internal/lint/linttest"
+	"dynamo/internal/lint/serialphase"
+)
+
+func TestSerialPhase(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), serialphase.Analyzer, "a")
+}

@@ -1,0 +1,38 @@
+package a
+
+var ch = make(chan int, 1)
+
+// aggregate folds dirty devices in fixed post-order.
+//
+//dynamo:serial
+func aggregate() {
+	go drain()  // want `serialphase: go statement inside //dynamo:serial function aggregate`
+	ch <- 1     // want `serialphase: channel send inside //dynamo:serial function aggregate`
+	fanOut(nil) // calls are fine — only launching/synchronizing is not
+}
+
+//dynamo:serial
+func cleanSerial() {
+	for i := 0; i < 3; i++ {
+		_ = i * i
+	}
+}
+
+// Unmarked functions may do what they like.
+func fanOut(done func()) {
+	go drain()
+	ch <- 2
+}
+
+func drain() { <-ch }
+
+//dynamo:serial
+func allowedEscape() {
+	//lint:allow serialphase — bounded worker handoff measured determinism-safe
+	go drain()
+}
+
+func misplacedBody() {
+	//dynamo:serial // want `serialphase: misplaced //dynamo:serial directive`
+	go drain()
+}

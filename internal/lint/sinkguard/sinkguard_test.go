@@ -1,0 +1,12 @@
+package sinkguard_test
+
+import (
+	"testing"
+
+	"dynamo/internal/lint/linttest"
+	"dynamo/internal/lint/sinkguard"
+)
+
+func TestSinkGuard(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), sinkguard.Analyzer, "a")
+}

@@ -1,0 +1,114 @@
+package a
+
+import "telemetry"
+
+// fooInstr follows the repo convention: an unexported *Instr struct of
+// pre-registered instruments, nil whenever telemetry is disabled.
+type fooInstr struct {
+	cycles *telemetry.Counter
+	level  *telemetry.Gauge
+	alerts [2]*telemetry.Counter
+}
+
+// bump assumes a guarded caller: selecting through the receiver is fine.
+func (in *fooInstr) bump() {
+	in.cycles.Inc()
+}
+
+// safe opens with a nil-receiver guard, so call sites need none.
+func (in *fooInstr) safe() {
+	if in == nil {
+		return
+	}
+	in.cycles.Inc()
+}
+
+type Thing struct {
+	tel *fooInstr
+	on  bool
+}
+
+func (t *Thing) unguarded() {
+	t.tel.bump() // want `sinkguard: bump selected through possibly-nil \*fooInstr`
+}
+
+func (t *Thing) unguardedField() {
+	t.tel.cycles.Inc() // want `sinkguard: cycles selected through possibly-nil \*fooInstr`
+}
+
+func (t *Thing) guarded() {
+	if t.tel != nil {
+		t.tel.bump()
+		t.tel.level.Set(1)
+	}
+}
+
+func (t *Thing) guardedConjunction() {
+	if t.on && t.tel != nil {
+		t.tel.bump()
+	}
+}
+
+func (t *Thing) guardedEarlyReturn() {
+	if t.tel == nil {
+		return
+	}
+	t.tel.bump()
+	t.tel.level.Set(2)
+}
+
+func (t *Thing) guardedElse() {
+	if t.tel == nil {
+		_ = t.on
+	} else {
+		t.tel.bump()
+	}
+}
+
+func (t *Thing) nilSafeMethod() {
+	t.tel.safe() // safe() guards its own receiver
+}
+
+func (t *Thing) wrongArm() {
+	if t.tel == nil {
+		t.tel.bump() // want `sinkguard: bump selected through possibly-nil \*fooInstr`
+	}
+}
+
+// Construct-then-populate is provably non-nil, local or field.
+func newInstr(reg func(string) *telemetry.Counter) *fooInstr {
+	in := &fooInstr{cycles: reg("cycles")}
+	in.alerts[0] = reg("warn")
+	in.alerts[1] = reg("crit")
+	return in
+}
+
+func (t *Thing) install(reg func(string) *telemetry.Counter) {
+	t.tel = &fooInstr{}
+	t.tel.cycles = reg("cycles")
+}
+
+func (t *Thing) allowed() {
+	//lint:allow sinkguard — construction order guarantees tel here
+	t.tel.bump()
+}
+
+func (t *Thing) badDirective() {
+	//lint:allow sinkguard // want `requires a reason`
+	t.tel.bump() // want `sinkguard: bump selected through possibly-nil \*fooInstr`
+}
+
+// peerState holds an instrument among other state but does not follow the
+// *Instr naming convention — not a nil-means-disabled wrapper.
+type peerState struct {
+	name string
+	lag  *telemetry.Gauge
+}
+
+func (p *peerState) observe() {
+	p.lag.Set(3)
+}
+
+func usePeer(p *peerState) {
+	p.lag.Set(4)
+}

@@ -1,0 +1,22 @@
+package telemetry
+
+// Instrument stand-ins: the real package's handles are nil-safe, but the
+// wrappers holding them are not.
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}

@@ -1,0 +1,8 @@
+package other
+
+import "time"
+
+// Not a determinism-critical package: wall clock is fine here.
+func now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,34 @@
+package sim
+
+import "time"
+
+func tick() time.Duration {
+	t := time.Now()      // want `wallclock: call to time.Now`
+	return time.Since(t) // want `wallclock: call to time.Since`
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want `wallclock: call to time.Sleep`
+	_ = time.After(0)       // want `wallclock: call to time.After`
+	time.AfterFunc(0, nil)  // want `wallclock: call to time.AfterFunc`
+}
+
+// durations and time arithmetic carry no clock — fine.
+func pure(d time.Duration) time.Duration {
+	return d + 3*time.Second
+}
+
+func allowed() {
+	//lint:allow wallclock — measuring host latency for an operator metric
+	t := time.Now()
+	_ = t
+}
+
+func trailingAllow() {
+	_ = time.Now() //lint:allow wallclock — same-line suppression form
+}
+
+func badDirective() {
+	//lint:allow wallclock // want `requires a reason`
+	_ = time.Now() // want `wallclock: call to time.Now`
+}

@@ -1,0 +1,9 @@
+package simclock
+
+import "time"
+
+// Outside wall.go the simclock package is policed like any other
+// determinism-critical package.
+func virtualNow() time.Time {
+	return time.Now() // want `wallclock: call to time.Now`
+}

@@ -1,0 +1,8 @@
+package simclock
+
+import "time"
+
+// wall.go is the sanctioned wall-clock bridge: exempt.
+func wallNow() time.Time {
+	return time.Now()
+}

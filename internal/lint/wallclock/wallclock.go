@@ -1,0 +1,80 @@
+// Package wallclock forbids reading the wall clock in determinism-critical
+// packages.
+//
+// The simulation and control plane run on simclock virtual time: every
+// timestamp that feeds a journal entry, checkpoint, band decision, or fault
+// verdict must come from the loop's virtual clock so that the same seed
+// replays to byte-identical output at any worker count. A stray time.Now
+// (or timer) silently couples decisions to host scheduling. The only
+// sanctioned wall-clock bridge is simclock/wall.go; telemetry and the rpc
+// transport are outside the policed set by design (operational metrics and
+// socket deadlines genuinely want wall time).
+package wallclock
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"dynamo/internal/lint"
+)
+
+// Forbidden lists the package-level functions of package time that read or
+// schedule off the wall clock. Pure types and constants (time.Duration,
+// time.Second) remain fine — they carry no clock.
+var Forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "wallclock",
+	Doc:      "forbid wall-clock time functions in determinism-critical packages (use simclock virtual time)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lint.Critical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	rep := lint.New(pass, "wallclock")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !Forbidden[fn.Name()] {
+			return
+		}
+		if exempt(pass, call) {
+			return
+		}
+		rep.Reportf(call.Pos(),
+			"wallclock: call to time.%s in determinism-critical package %s; use simclock virtual time",
+			fn.Name(), lint.PathBase(pass.Pkg.Path()))
+	})
+	return nil, nil
+}
+
+// exempt reports whether the call sits in a file where wall time is
+// sanctioned: test files, and simclock's wall.go (the one deliberate
+// bridge between virtual and wall time).
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	file := pass.Fset.Position(call.Pos()).Filename
+	if strings.HasSuffix(file, "_test.go") {
+		return true
+	}
+	return filepath.Base(file) == "wall.go" && lint.PathBase(pass.Pkg.Path()) == "simclock"
+}

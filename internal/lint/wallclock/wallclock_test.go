@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"dynamo/internal/lint/linttest"
+	"dynamo/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), wallclock.Analyzer, "sim", "simclock", "other")
+}

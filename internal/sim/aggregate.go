@@ -254,6 +254,8 @@ func (s *Sim) aggregate(now time.Duration) {
 // hierarchy. Kept as the incremental path's cross-check oracle (and the
 // mandatory first pass); summation order is fixed by the index, so
 // results are identical at any worker count.
+//
+//dynamo:serial
 func (s *Sim) aggregateFull(now time.Duration) {
 	dirty := s.drainDirty()
 	for i := range s.devDirty {
@@ -275,6 +277,8 @@ func (s *Sim) aggregateFull(now time.Duration) {
 // devices keep their snapshot entries, which at epsilon=0 are bit-for-bit
 // what a full rebuild would recompute (their inputs are unchanged and the
 // per-device summation order is fixed).
+//
+//dynamo:serial
 func (s *Sim) aggregateIncremental(now time.Duration) {
 	dirty := s.drainDirty()
 	reagg := 0
@@ -300,6 +304,8 @@ func (s *Sim) aggregateIncremental(now time.Duration) {
 // dirty marks and marks every recharging rack (time-dependent draw).
 // Marking is idempotent and commutative, so shard order never matters.
 // Returns the dirty-server count.
+//
+//dynamo:serial
 func (s *Sim) drainDirty() int {
 	dirty := 0
 	for w := range s.shardDirty {
@@ -318,6 +324,8 @@ func (s *Sim) drainDirty() int {
 }
 
 // commit finalizes a global aggregation pass at time now.
+//
+//dynamo:serial
 func (s *Sim) commit(now time.Duration, dirtyServers, reagg int) {
 	s.snap.at = now
 	s.snap.valid = true

@@ -63,6 +63,8 @@ func (w *Writer) SnapshotDue() bool {
 
 // Append writes one checkpoint entry, acquiring the stream on first use.
 // On ErrFenced the writer latches Fenced and refuses further appends.
+//
+//dynamo:serial
 func (w *Writer) Append(kind Kind, cycles uint64, payload []byte) error {
 	if w.fenced {
 		return ErrFenced
